@@ -1,0 +1,56 @@
+#ifndef DCWS_BENCH_BENCH_UTIL_H_
+#define DCWS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/core/server_params.h"
+#include "src/metrics/table_printer.h"
+#include "src/sim/experiment.h"
+#include "src/util/string_util.h"
+#include "src/workload/site.h"
+
+namespace dcws::bench {
+
+// DCWS_BENCH_FAST=1 shrinks sweep grids and windows (smoke runs); the
+// default regenerates the full figures.
+inline bool FastMode() {
+  const char* env = std::getenv("DCWS_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::string rule(title.size(), '=');
+  std::printf("\n%s\n%s\n", title.c_str(), rule.c_str());
+}
+
+// Every harness runs with the paper's Table 1 parameters unless a sweep
+// overrides one of them.
+inline core::ServerParams PaperParams() {
+  core::ServerParams params;  // defaults ARE Table 1
+  params.selection.hit_threshold = 4;
+  return params;
+}
+
+inline void PrintTable1(const core::ServerParams& params) {
+  PrintHeader("Table 1: server parameters (paper defaults)");
+  std::printf("%s", core::FormatTable1(params).c_str());
+}
+
+// Warm-up long enough for accelerated migration (4 docs/s) to spread the
+// dataset across the cluster before the measured window.
+inline MicroTime WarmupFor(const workload::SiteSpec& site) {
+  MicroTime by_size = Seconds(static_cast<double>(
+      site.documents.size() / 3.5));
+  return std::max(Seconds(180), by_size);
+}
+
+inline std::string Mbps(double bytes_per_sec) {
+  return metrics::TablePrinter::Num(bytes_per_sec / 1e6, 2) + " MB/s";
+}
+
+}  // namespace dcws::bench
+
+#endif  // DCWS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,143 @@
+// Micro-benchmarks of the DCWS hot paths: LDG tuple retrieval (the
+// paper's "hash table ... necessary for each request"), Algorithm 1
+// selection, the ~migrate naming codec, and the piggyback load-header
+// codec.
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/ldg.h"
+#include "src/load/piggyback.h"
+#include "src/migrate/naming.h"
+#include "src/migrate/selection.h"
+#include "src/workload/site.h"
+
+namespace dcws {
+namespace {
+
+const http::ServerAddress kHome{"home", 8001};
+
+storage::DocumentStore& LodStore() {
+  static storage::DocumentStore* store = [] {
+    auto* s = new storage::DocumentStore();
+    Rng rng(3);
+    for (auto& doc : workload::BuildLod(rng).documents) {
+      s->Put(std::move(doc));
+    }
+    return s;
+  }();
+  return *store;
+}
+
+graph::LocalDocumentGraph& LodGraph() {
+  static graph::LocalDocumentGraph* graph = [] {
+    auto* g = new graph::LocalDocumentGraph();
+    Status s = g->Build(LodStore(), kHome, {"/lod/index.html"});
+    (void)s;
+    return g;
+  }();
+  return *graph;
+}
+
+void BM_LdgBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::LocalDocumentGraph graph;
+    Status s = graph.Build(LodStore(), kHome, {"/lod/index.html"});
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel("scan+parse 349-doc LOD site");
+}
+BENCHMARK(BM_LdgBuild);
+
+void BM_LdgBriefLookup(benchmark::State& state) {
+  auto& graph = LodGraph();
+  const std::string name = "/lod/gallery3.html";
+  for (auto _ : state) {
+    auto brief = graph.Brief(name);
+    benchmark::DoNotOptimize(brief);
+  }
+}
+BENCHMARK(BM_LdgBriefLookup);
+
+void BM_LdgRecordHit(benchmark::State& state) {
+  auto& graph = LodGraph();
+  const std::string name = "/lod/item42.html";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.RecordHit(name));
+  }
+}
+BENCHMARK(BM_LdgRecordHit);
+
+void BM_SelectionSnapshot(benchmark::State& state) {
+  auto& graph = LodGraph();
+  for (auto _ : state) {
+    auto views = graph.SelectionSnapshot();
+    benchmark::DoNotOptimize(views);
+  }
+  state.SetLabel("349 records");
+}
+BENCHMARK(BM_SelectionSnapshot);
+
+void BM_Algorithm1(benchmark::State& state) {
+  auto views = LodGraph().SelectionSnapshot();
+  migrate::SelectionConfig config;
+  config.hit_threshold = 4;
+  for (auto _ : state) {
+    auto pick = migrate::SelectDocumentForMigration(views, config);
+    benchmark::DoNotOptimize(pick);
+  }
+}
+BENCHMARK(BM_Algorithm1);
+
+void BM_NamingEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    std::string target = migrate::EncodeMigratedTarget(
+        kHome, "/lod/img/t123.gif");
+    benchmark::DoNotOptimize(target);
+  }
+}
+BENCHMARK(BM_NamingEncode);
+
+void BM_NamingDecode(benchmark::State& state) {
+  std::string target =
+      migrate::EncodeMigratedTarget(kHome, "/lod/img/t123.gif");
+  for (auto _ : state) {
+    auto decoded = migrate::DecodeMigratedTarget(target);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_NamingDecode);
+
+void BM_PiggybackEncode(benchmark::State& state) {
+  load::GlobalLoadTable glt;
+  for (int i = 0; i < 16; ++i) {
+    glt.Update({"node" + std::to_string(i), 8001}, 100.0 + i,
+               Seconds(i));
+  }
+  auto snapshot = glt.Snapshot();
+  for (auto _ : state) {
+    std::string header = load::EncodeLoadHeader(snapshot, Seconds(20));
+    benchmark::DoNotOptimize(header);
+  }
+  state.SetLabel("16-server GLT");
+}
+BENCHMARK(BM_PiggybackEncode);
+
+void BM_PiggybackDecode(benchmark::State& state) {
+  load::GlobalLoadTable glt;
+  for (int i = 0; i < 16; ++i) {
+    glt.Update({"node" + std::to_string(i), 8001}, 100.0 + i,
+               Seconds(i));
+  }
+  std::string header =
+      load::EncodeLoadHeader(glt.Snapshot(), Seconds(20));
+  for (auto _ : state) {
+    auto decoded = load::DecodeLoadHeader(header);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_PiggybackDecode);
+
+}  // namespace
+}  // namespace dcws
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Micro-benchmark for the §5.3 "Overhead for parsing and reconstruction"
+// numbers: the paper measured ~3 ms to parse hyperlinks and ~20 ms to
+// reconstruct a ~6.5 KB document on a 200 MHz Pentium.  We measure the
+// same two operations of OUR parser on a ~6.5 KB document; absolute
+// times land orders of magnitude lower on modern hardware, so the
+// meaningful check is the parse:reconstruct ratio (~1:6) and that both
+// stay far below per-request service costs — the paper's conclusion
+// that "parsing and reconstructing documents did not impose a
+// significant performance penalty".
+
+#include <benchmark/benchmark.h>
+
+#include "src/html/links.h"
+#include "src/html/rewriter.h"
+#include "src/workload/site.h"
+
+namespace dcws {
+namespace {
+
+// A ~6.5 KB page matching the paper's average document: prose plus a
+// realistic number of hyperlinks and images.
+std::string AverageDocument() {
+  Rng rng(7);
+  std::string body = "<html><head><title>average page</title></head><body>\n";
+  for (int i = 0; i < 12; ++i) {
+    body += "<a href=\"page" + std::to_string(i) + ".html\">link</a>\n";
+  }
+  for (int i = 0; i < 5; ++i) {
+    body += "<img src=\"img/i" + std::to_string(i) + ".gif\">\n";
+  }
+  body += "<p>" + workload::FillerText(rng, 6000) + "</p></body></html>\n";
+  return body;
+}
+
+void BM_ParseHyperlinks(benchmark::State& state) {
+  std::string doc = AverageDocument();
+  for (auto _ : state) {
+    auto links = html::ExtractLinks(doc, "/dir/page.html");
+    benchmark::DoNotOptimize(links);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+  state.SetLabel("paper: ~3 ms on 200MHz Pentium");
+}
+BENCHMARK(BM_ParseHyperlinks);
+
+void BM_ReconstructDocument(benchmark::State& state) {
+  std::string doc = AverageDocument();
+  for (auto _ : state) {
+    auto result = html::RewriteLinks(
+        doc, "/dir/page.html",
+        [](const html::LinkOccurrence& link)
+            -> std::optional<std::string> {
+          // Rewrite every internal link, as a migration burst would.
+          if (link.external) return std::nullopt;
+          return "http://coop:8002/~migrate/home/8001" + link.resolved;
+        });
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+  state.SetLabel("paper: ~20 ms on 200MHz Pentium");
+}
+BENCHMARK(BM_ReconstructDocument);
+
+void BM_ReconstructNoChanges(benchmark::State& state) {
+  // The cheap path: dirty bit set but no links actually moved.
+  std::string doc = AverageDocument();
+  for (auto _ : state) {
+    auto result = html::RewriteLinks(
+        doc, "/dir/page.html",
+        [](const html::LinkOccurrence&) { return std::nullopt; });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ReconstructNoChanges);
+
+void BM_TokenizeLargeIndex(benchmark::State& state) {
+  // SBLog-style 45 KB index page with ~430 links.
+  Rng rng(11);
+  workload::SiteSpec site = workload::BuildSblog(rng);
+  std::string doc;
+  for (const auto& d : site.documents) {
+    if (d.path == "/stats/index0.html") doc = d.content;
+  }
+  for (auto _ : state) {
+    auto tokens = html::Tokenize(doc);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_TokenizeLargeIndex);
+
+}  // namespace
+}  // namespace dcws
+
+BENCHMARK_MAIN();

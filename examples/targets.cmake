@@ -1,0 +1,13 @@
+# Runnable examples exercising the public API; binaries in build/examples/.
+
+macro(dcws_example name)
+  add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/examples/${name}.cc)
+  target_link_libraries(${name} PRIVATE dcws)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/examples)
+endmacro()
+
+dcws_example(quickstart)
+dcws_example(digital_library)
+dcws_example(flash_crowd)
+dcws_example(log_replay)

@@ -1,0 +1,64 @@
+#ifndef DCWS_BASELINE_RR_DNS_H_
+#define DCWS_BASELINE_RR_DNS_H_
+
+#include <memory>
+
+#include "src/sim/experiment.h"
+#include "src/sim/sim_cluster.h"
+#include "src/workload/site.h"
+
+namespace dcws::baseline {
+
+// Round-robin DNS baseline (the NCSA scalable web server, §2): N
+// identically-configured servers, each holding a FULL replica of the
+// site, with one published hostname rotated across their addresses by
+// the DNS.  Clients resolve through caching resolvers: a group of
+// clients shares one resolver whose mapping lives for the DNS TTL, so
+// distribution is coarse-grained — exactly the paper's criticism.
+struct RrDnsConfig {
+  sim::SimConfig sim;
+  int clients = 32;
+  // DNS time-to-live; large TTLs pin whole resolver populations to one
+  // server for a long time.
+  MicroTime dns_ttl = 300 * kMicrosPerSecond;
+  // Clients per caching resolver ("multiple levels within the hierarchy
+  // of services" collapse many clients onto one cached mapping).
+  int clients_per_resolver = 8;
+  MicroTime warmup = 60 * kMicrosPerSecond;
+  MicroTime measure = 60 * kMicrosPerSecond;
+};
+
+struct BaselineResult {
+  double cps = 0;
+  double bps = 0;
+  double drop_rate = 0;
+  // Aggregate storage the scheme requires, in bytes (RR-DNS replicates
+  // the site N times; DCWS stores ~1 copy plus migrated duplicates).
+  uint64_t storage_bytes = 0;
+};
+
+BaselineResult RunRrDnsExperiment(const workload::SiteSpec& site,
+                                  const RrDnsConfig& config);
+
+// Centralized router baseline (TCP router / LocalDirector, §2): N full
+// replicas behind one virtual IP; EVERY packet of every connection
+// passes through the router, which charges per-connection switching
+// cost and forwards response bytes through its own NIC — the central
+// bottleneck the paper is designed to avoid.
+struct CentralRouterConfig {
+  sim::SimConfig sim;
+  int clients = 32;
+  // Router forwarding cost per connection and forwarding bandwidth.
+  MicroTime router_connection_cpu = 250;
+  uint64_t router_bytes_per_sec = 12'500'000;  // 100 Mbps uplink
+  int router_backlog = 512;
+  MicroTime warmup = 60 * kMicrosPerSecond;
+  MicroTime measure = 60 * kMicrosPerSecond;
+};
+
+BaselineResult RunCentralRouterExperiment(
+    const workload::SiteSpec& site, const CentralRouterConfig& config);
+
+}  // namespace dcws::baseline
+
+#endif  // DCWS_BASELINE_RR_DNS_H_

@@ -1,0 +1,4 @@
+dcws_module(baseline
+  rr_dns.cc
+
+)

@@ -1,0 +1,3 @@
+dcws_module(graph
+  ldg.cc
+)

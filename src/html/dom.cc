@@ -1,0 +1,134 @@
+#include "src/html/dom.h"
+
+namespace dcws::html {
+
+std::unique_ptr<Node> Node::NewDocument() {
+  return std::unique_ptr<Node>(new Node(Kind::kDocument, "", "", {}));
+}
+
+std::unique_ptr<Node> Node::NewElement(std::string name,
+                                       std::vector<Attribute> attributes) {
+  return std::unique_ptr<Node>(
+      new Node(Kind::kElement, std::move(name), "", std::move(attributes)));
+}
+
+std::unique_ptr<Node> Node::NewText(std::string text) {
+  return std::unique_ptr<Node>(
+      new Node(Kind::kText, "", std::move(text), {}));
+}
+
+std::unique_ptr<Node> Node::NewComment(std::string text) {
+  return std::unique_ptr<Node>(
+      new Node(Kind::kComment, "", std::move(text), {}));
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::optional<std::string_view> Node::Attr(std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+void Node::FindAllInto(std::string_view tag_name, std::vector<Node*>& out) {
+  if (kind_ == Kind::kElement && name_ == tag_name) out.push_back(this);
+  for (const auto& child : children_) {
+    child->FindAllInto(tag_name, out);
+  }
+}
+
+std::vector<Node*> Node::FindAll(std::string_view tag_name) {
+  std::vector<Node*> out;
+  FindAllInto(tag_name, out);
+  return out;
+}
+
+Node* Node::FindFirst(std::string_view tag_name) {
+  if (kind_ == Kind::kElement && name_ == tag_name) return this;
+  for (const auto& child : children_) {
+    if (Node* hit = child->FindFirst(tag_name)) return hit;
+  }
+  return nullptr;
+}
+
+std::string Node::TextContent() const {
+  std::string out;
+  if (kind_ == Kind::kText) out += text_;
+  for (const auto& child : children_) out += child->TextContent();
+  return out;
+}
+
+void Node::SerializeTo(std::string& out) const {
+  switch (kind_) {
+    case Kind::kDocument:
+      for (const auto& child : children_) child->SerializeTo(out);
+      return;
+    case Kind::kText:
+      out += text_;
+      return;
+    case Kind::kComment:
+      out += text_;  // raw comment text includes <!-- -->
+      return;
+    case Kind::kElement: {
+      Token tag;
+      tag.kind = TokenKind::kStartTag;
+      tag.name = name_;
+      tag.attributes = attributes_;
+      out += tag.Regenerate();
+      if (IsVoidElement(name_)) return;
+      for (const auto& child : children_) child->SerializeTo(out);
+      out += "</" + name_ + ">";
+      return;
+    }
+  }
+}
+
+std::string Node::Serialize() const {
+  std::string out;
+  SerializeTo(out);
+  return out;
+}
+
+std::unique_ptr<Node> ParseDocument(std::string_view html) {
+  auto document = Node::NewDocument();
+  std::vector<Node*> stack = {document.get()};
+
+  for (Token& token : Tokenize(html)) {
+    Node* top = stack.back();
+    switch (token.kind) {
+      case TokenKind::kText:
+        top->AddChild(Node::NewText(std::move(token.raw)));
+        break;
+      case TokenKind::kComment:
+      case TokenKind::kDoctype:
+        top->AddChild(Node::NewComment(std::move(token.raw)));
+        break;
+      case TokenKind::kStartTag: {
+        Node* element = top->AddChild(Node::NewElement(
+            std::move(token.name), std::move(token.attributes)));
+        if (!token.self_closing && !IsVoidElement(element->name())) {
+          stack.push_back(element);
+        }
+        break;
+      }
+      case TokenKind::kEndTag: {
+        // Pop to the nearest matching open element, if any.
+        for (size_t i = stack.size(); i-- > 1;) {
+          if (stack[i]->name() == token.name) {
+            stack.resize(i);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return document;
+}
+
+}  // namespace dcws::html

@@ -1,0 +1,79 @@
+#ifndef DCWS_HTML_DOM_H_
+#define DCWS_HTML_DOM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/html/token.h"
+
+namespace dcws::html {
+
+// A simple parse tree, as the paper builds for hyperlink modification
+// (§4.3).  The production rewrite path uses the token stream directly
+// (rewriter.h) for byte fidelity; the DOM is used by tooling, tests and
+// examples that want structural queries over documents.
+class Node {
+ public:
+  enum class Kind { kDocument, kElement, kText, kComment };
+
+  static std::unique_ptr<Node> NewDocument();
+  static std::unique_ptr<Node> NewElement(std::string name,
+                                          std::vector<Attribute> attributes);
+  static std::unique_ptr<Node> NewText(std::string text);
+  static std::unique_ptr<Node> NewComment(std::string text);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }  // elements only
+  const std::string& text() const { return text_; }  // text/comment only
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::vector<Attribute>& mutable_attributes() { return attributes_; }
+
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  // First attribute value with the given (lowercase) name.
+  std::optional<std::string_view> Attr(std::string_view name) const;
+
+  // Depth-first search for elements with the given tag name.
+  std::vector<Node*> FindAll(std::string_view tag_name);
+  Node* FindFirst(std::string_view tag_name);
+
+  // Concatenated text content of the subtree.
+  std::string TextContent() const;
+
+  // Serializes the subtree back to HTML.
+  std::string Serialize() const;
+
+ private:
+  Node(Kind kind, std::string name, std::string text,
+       std::vector<Attribute> attributes)
+      : kind_(kind),
+        name_(std::move(name)),
+        text_(std::move(text)),
+        attributes_(std::move(attributes)) {}
+
+  void SerializeTo(std::string& out) const;
+  void FindAllInto(std::string_view tag_name, std::vector<Node*>& out);
+
+  Kind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+// Parses HTML into a tree.  Mis-nested close tags are recovered from by
+// popping to the nearest matching open element; unmatched close tags are
+// dropped.  Void elements (img, br, ...) never take children.
+std::unique_ptr<Node> ParseDocument(std::string_view html);
+
+}  // namespace dcws::html
+
+#endif  // DCWS_HTML_DOM_H_

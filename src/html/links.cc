@@ -1,0 +1,81 @@
+#include "src/html/links.h"
+
+#include <optional>
+
+#include "src/http/url.h"
+#include "src/util/string_util.h"
+
+namespace dcws::html {
+
+namespace {
+
+struct LinkAttrRule {
+  std::string_view tag;
+  std::string_view attr;
+  LinkKind kind;
+};
+
+// The tag/attribute pairs the paper cares about: hyperlinks that users
+// follow, plus resources browsers fetch automatically (images and frame
+// panes — §3.1 notes both are prime migration candidates).
+constexpr LinkAttrRule kRules[] = {
+    {"a", "href", LinkKind::kHyperlink},
+    {"area", "href", LinkKind::kHyperlink},
+    {"img", "src", LinkKind::kEmbedded},
+    {"frame", "src", LinkKind::kEmbedded},
+    {"iframe", "src", LinkKind::kEmbedded},
+    {"body", "background", LinkKind::kEmbedded},
+};
+
+std::optional<LinkKind> Classify(std::string_view tag,
+                                 std::string_view attr) {
+  for (const LinkAttrRule& rule : kRules) {
+    if (rule.tag == tag && rule.attr == attr) return rule.kind;
+  }
+  return std::nullopt;
+}
+
+// Schemes we never treat as documents.
+bool IsNonHttpScheme(std::string_view value) {
+  return StartsWith(value, "mailto:") || StartsWith(value, "javascript:") ||
+         StartsWith(value, "ftp:") || StartsWith(value, "news:") ||
+         StartsWith(value, "data:");
+}
+
+}  // namespace
+
+std::vector<LinkOccurrence> ExtractLinks(const std::vector<Token>& tokens,
+                                         std::string_view base_path) {
+  std::vector<LinkOccurrence> links;
+  for (size_t ti = 0; ti < tokens.size(); ++ti) {
+    const Token& token = tokens[ti];
+    if (token.kind != TokenKind::kStartTag) continue;
+    for (size_t ai = 0; ai < token.attributes.size(); ++ai) {
+      const Attribute& attr = token.attributes[ai];
+      if (!attr.has_value) continue;
+      auto kind = Classify(token.name, attr.name);
+      if (!kind.has_value()) continue;
+      std::string_view value = Trim(attr.value);
+      if (value.empty() || value.front() == '#' ||
+          IsNonHttpScheme(value)) {
+        continue;  // same-page fragment or non-document scheme
+      }
+      LinkOccurrence link;
+      link.token_index = ti;
+      link.attr_index = ai;
+      link.kind = *kind;
+      link.raw = std::string(value);
+      link.resolved = http::ResolveReference(base_path, value);
+      link.external = http::IsAbsoluteUrl(link.resolved);
+      links.push_back(std::move(link));
+    }
+  }
+  return links;
+}
+
+std::vector<LinkOccurrence> ExtractLinks(std::string_view document_html,
+                                         std::string_view base_path) {
+  return ExtractLinks(Tokenize(document_html), base_path);
+}
+
+}  // namespace dcws::html

@@ -1,0 +1,42 @@
+#ifndef DCWS_HTML_LINKS_H_
+#define DCWS_HTML_LINKS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/html/token.h"
+
+namespace dcws::html {
+
+// How a referenced resource is fetched, which drives both migration
+// bookkeeping (LDG LinkTo/LinkFrom) and the Algorithm-2 client:
+// hyperlinks are followed by the user; embedded resources (images, frame
+// panes) are fetched automatically with the page.
+enum class LinkKind {
+  kHyperlink,  // <a href>, <area href>
+  kEmbedded,   // <img src>, <frame src>, <iframe src>, <body background>
+};
+
+struct LinkOccurrence {
+  size_t token_index = 0;  // index into the token vector
+  size_t attr_index = 0;   // index into token.attributes
+  LinkKind kind = LinkKind::kHyperlink;
+  std::string raw;       // attribute value as written
+  std::string resolved;  // absolute path or absolute URL (see ResolveReference)
+  bool external = false;  // absolute URL pointing off-site
+};
+
+// Finds every link-bearing attribute in `tokens`.  `base_path` is the
+// absolute site path of the document, used to resolve relative hrefs.
+std::vector<LinkOccurrence> ExtractLinks(const std::vector<Token>& tokens,
+                                         std::string_view base_path);
+
+// Convenience: tokenize + extract.
+std::vector<LinkOccurrence> ExtractLinks(std::string_view document_html,
+                                         std::string_view base_path);
+
+}  // namespace dcws::html
+
+#endif  // DCWS_HTML_LINKS_H_

@@ -1,0 +1,37 @@
+#include "src/html/rewriter.h"
+
+#include <vector>
+
+namespace dcws::html {
+
+RewriteResult RewriteLinks(std::string_view document_html,
+                           std::string_view base_path,
+                           const LinkMapper& mapper) {
+  std::vector<Token> tokens = Tokenize(document_html);
+  std::vector<LinkOccurrence> links = ExtractLinks(tokens, base_path);
+
+  RewriteResult result;
+  result.links_seen = links.size();
+
+  std::vector<char> modified(tokens.size(), 0);
+  for (const LinkOccurrence& link : links) {
+    std::optional<std::string> replacement = mapper(link);
+    if (!replacement.has_value()) continue;
+    Attribute& attr = tokens[link.token_index].attributes[link.attr_index];
+    if (attr.value == *replacement) continue;
+    attr.value = std::move(*replacement);
+    // Quoting must survive URLs with ':' and '/', so force double quotes
+    // on previously-unquoted attributes.
+    if (attr.quote == 0) attr.quote = '"';
+    modified[link.token_index] = 1;
+    ++result.links_rewritten;
+  }
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (modified[i]) tokens[i].raw = tokens[i].Regenerate();
+  }
+  result.html = SerializeTokens(tokens);
+  return result;
+}
+
+}  // namespace dcws::html

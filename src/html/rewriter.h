@@ -1,0 +1,36 @@
+#ifndef DCWS_HTML_REWRITER_H_
+#define DCWS_HTML_REWRITER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/html/links.h"
+
+namespace dcws::html {
+
+// Decides the replacement attribute value for one link, or nullopt to
+// leave it unchanged.  The callback sees the occurrence with its resolved
+// target, so callers map document identities (site paths) to new absolute
+// URLs without caring how the author spelled the href.
+using LinkMapper =
+    std::function<std::optional<std::string>(const LinkOccurrence&)>;
+
+struct RewriteResult {
+  std::string html;       // document with substituted links
+  size_t links_seen = 0;  // total link occurrences inspected
+  size_t links_rewritten = 0;
+};
+
+// The paper's "document parsing and reconstruction" (§4.3): parse the
+// document, replace modified links, regenerate the source.  Tokens whose
+// attributes are untouched are copied byte-exact, so reconstruction only
+// perturbs the tags it must.
+RewriteResult RewriteLinks(std::string_view document_html,
+                           std::string_view base_path,
+                           const LinkMapper& mapper);
+
+}  // namespace dcws::html
+
+#endif  // DCWS_HTML_REWRITER_H_

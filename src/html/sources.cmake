@@ -1,0 +1,6 @@
+dcws_module(html
+  token.cc
+  links.cc
+  rewriter.cc
+  dom.cc
+)

@@ -1,0 +1,262 @@
+#include "src/html/token.h"
+
+#include <array>
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace dcws::html {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '_' || c == ':';
+}
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c));
+}
+
+// Scanner over the input with a cursor.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view html) : html_(html) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    size_t text_start = 0;
+    while (pos_ < html_.size()) {
+      if (html_[pos_] != '<') {
+        ++pos_;
+        continue;
+      }
+      size_t tag_start = pos_;
+      Token token;
+      if (!LexMarkup(token)) {
+        // Not actually markup ("<" in text): skip the '<' and continue.
+        pos_ = tag_start + 1;
+        continue;
+      }
+      if (tag_start > text_start) {
+        tokens.push_back(MakeText(text_start, tag_start));
+      }
+      tokens.push_back(std::move(token));
+      text_start = pos_;
+      // Rawtext elements: everything until the matching close tag is one
+      // text token (scripts may contain '<').
+      const Token& just = tokens.back();
+      if (just.kind == TokenKind::kStartTag && !just.self_closing &&
+          (just.name == "script" || just.name == "style")) {
+        size_t raw_end = FindCloseTag(just.name);
+        if (raw_end > text_start) {
+          tokens.push_back(MakeText(text_start, raw_end));
+          text_start = raw_end;
+          pos_ = raw_end;
+        }
+      }
+    }
+    if (html_.size() > text_start) {
+      tokens.push_back(MakeText(text_start, html_.size()));
+    }
+    return tokens;
+  }
+
+ private:
+  Token MakeText(size_t begin, size_t end) {
+    Token t;
+    t.kind = TokenKind::kText;
+    t.raw = std::string(html_.substr(begin, end - begin));
+    return t;
+  }
+
+  // Returns the offset where `</name` begins, or end-of-input.
+  size_t FindCloseTag(std::string_view name) {
+    size_t search = pos_;
+    while (search < html_.size()) {
+      size_t lt = html_.find('<', search);
+      if (lt == std::string_view::npos) return html_.size();
+      if (lt + 1 < html_.size() && html_[lt + 1] == '/') {
+        std::string_view after = html_.substr(lt + 2);
+        if (after.size() >= name.size() &&
+            EqualsIgnoreCase(after.substr(0, name.size()), name)) {
+          return lt;
+        }
+      }
+      search = lt + 1;
+    }
+    return html_.size();
+  }
+
+  // Attempts to lex a comment/doctype/tag at pos_ (which points at '<').
+  // On success advances pos_ past the construct and fills `token`.
+  bool LexMarkup(Token& token) {
+    size_t start = pos_;
+    if (start + 1 >= html_.size()) return false;
+    char next = html_[start + 1];
+
+    if (next == '!') {
+      if (html_.substr(start, 4) == "<!--") {
+        size_t end = html_.find("-->", start + 4);
+        size_t close = end == std::string_view::npos ? html_.size() : end + 3;
+        token.kind = TokenKind::kComment;
+        token.raw = std::string(html_.substr(start, close - start));
+        pos_ = close;
+        return true;
+      }
+      size_t end = html_.find('>', start + 2);
+      size_t close = end == std::string_view::npos ? html_.size() : end + 1;
+      token.kind = TokenKind::kDoctype;
+      token.raw = std::string(html_.substr(start, close - start));
+      pos_ = close;
+      return true;
+    }
+
+    bool closing = next == '/';
+    size_t name_start = start + (closing ? 2 : 1);
+    if (name_start >= html_.size() ||
+        !std::isalpha(static_cast<unsigned char>(html_[name_start]))) {
+      return false;
+    }
+    size_t cursor = name_start;
+    while (cursor < html_.size() && IsNameChar(html_[cursor])) ++cursor;
+    token.name = ToLower(html_.substr(name_start, cursor - name_start));
+    token.kind = closing ? TokenKind::kEndTag : TokenKind::kStartTag;
+
+    // Attributes.
+    while (cursor < html_.size() && html_[cursor] != '>') {
+      while (cursor < html_.size() && IsSpace(html_[cursor])) ++cursor;
+      if (cursor >= html_.size()) break;
+      if (html_[cursor] == '>') break;
+      if (html_[cursor] == '/') {
+        // Possible self-closing slash.
+        size_t peek = cursor + 1;
+        while (peek < html_.size() && IsSpace(html_[peek])) ++peek;
+        if (peek < html_.size() && html_[peek] == '>') {
+          token.self_closing = true;
+          cursor = peek;
+          break;
+        }
+        ++cursor;
+        continue;
+      }
+      // Attribute name.
+      size_t attr_start = cursor;
+      while (cursor < html_.size() && html_[cursor] != '=' &&
+             html_[cursor] != '>' && !IsSpace(html_[cursor]) &&
+             html_[cursor] != '/') {
+        ++cursor;
+      }
+      if (cursor == attr_start) {
+        ++cursor;  // stray character; skip
+        continue;
+      }
+      Attribute attr;
+      attr.name = ToLower(html_.substr(attr_start, cursor - attr_start));
+      while (cursor < html_.size() && IsSpace(html_[cursor])) ++cursor;
+      if (cursor < html_.size() && html_[cursor] == '=') {
+        ++cursor;
+        while (cursor < html_.size() && IsSpace(html_[cursor])) ++cursor;
+        if (cursor < html_.size() &&
+            (html_[cursor] == '"' || html_[cursor] == '\'')) {
+          char quote = html_[cursor];
+          size_t value_start = ++cursor;
+          size_t value_end = html_.find(quote, value_start);
+          if (value_end == std::string_view::npos) {
+            value_end = html_.size();
+            cursor = value_end;
+          } else {
+            cursor = value_end + 1;
+          }
+          attr.quote = quote;
+          attr.value =
+              std::string(html_.substr(value_start, value_end - value_start));
+        } else {
+          size_t value_start = cursor;
+          while (cursor < html_.size() && !IsSpace(html_[cursor]) &&
+                 html_[cursor] != '>') {
+            ++cursor;
+          }
+          attr.quote = 0;
+          attr.value =
+              std::string(html_.substr(value_start, cursor - value_start));
+        }
+        attr.has_value = true;
+      } else {
+        attr.has_value = false;
+        attr.quote = 0;
+      }
+      token.attributes.push_back(std::move(attr));
+    }
+    if (cursor >= html_.size()) {
+      // Unterminated tag: treat the whole remainder as this tag's raw
+      // text so serialization round-trips.
+      token.raw = std::string(html_.substr(start));
+      pos_ = html_.size();
+      return true;
+    }
+    ++cursor;  // consume '>'
+    token.raw = std::string(html_.substr(start, cursor - start));
+    pos_ = cursor;
+    return true;
+  }
+
+  std::string_view html_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Token::Regenerate() const {
+  if (kind != TokenKind::kStartTag && kind != TokenKind::kEndTag) {
+    return raw;
+  }
+  size_t size_hint = 4 + name.size();
+  for (const Attribute& attr : attributes) {
+    size_hint += attr.name.size() + attr.value.size() + 4;
+  }
+  std::string out;
+  out.reserve(size_hint);
+  out += "<";
+  if (kind == TokenKind::kEndTag) out += "/";
+  out += name;
+  for (const Attribute& attr : attributes) {
+    out += " ";
+    out += attr.name;
+    if (attr.has_value) {
+      out += "=";
+      if (attr.quote != 0) out += attr.quote;
+      out += attr.value;
+      if (attr.quote != 0) out += attr.quote;
+    }
+  }
+  if (self_closing) out += " /";
+  out += ">";
+  return out;
+}
+
+std::vector<Token> Tokenize(std::string_view html) {
+  return Lexer(html).Run();
+}
+
+std::string SerializeTokens(const std::vector<Token>& tokens) {
+  std::string out;
+  size_t total = 0;
+  for (const Token& t : tokens) total += t.raw.size();
+  out.reserve(total);
+  for (const Token& t : tokens) out += t.raw;
+  return out;
+}
+
+bool IsVoidElement(std::string_view tag_name) {
+  static constexpr std::array<std::string_view, 16> kVoid = {
+      "area", "base",  "br",    "col",   "embed", "hr",
+      "img",  "input", "link",  "meta",  "param", "source",
+      "track", "wbr",  "frame", "isindex"};
+  for (std::string_view v : kVoid) {
+    if (v == tag_name) return true;
+  }
+  return false;
+}
+
+}  // namespace dcws::html

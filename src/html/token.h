@@ -1,0 +1,53 @@
+#ifndef DCWS_HTML_TOKEN_H_
+#define DCWS_HTML_TOKEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcws::html {
+
+enum class TokenKind {
+  kText,      // character data (including rawtext inside script/style)
+  kStartTag,  // <name attr=...> or <name ... />
+  kEndTag,    // </name>
+  kComment,   // <!-- ... -->
+  kDoctype,   // <!DOCTYPE ...> and other <!...> declarations
+};
+
+struct Attribute {
+  std::string name;   // lowercase
+  std::string value;  // decoded (quotes stripped); empty if !has_value
+  bool has_value = true;
+  char quote = '"';  // '"', '\'' or 0 for unquoted — preserved on output
+};
+
+// One lexical token.  `raw` is the exact source slice, so a token stream
+// serialized without modifications reproduces the input byte-for-byte;
+// tokens whose attributes were edited are re-generated from parts.
+struct Token {
+  TokenKind kind = TokenKind::kText;
+  std::string raw;
+  std::string name;  // tag name, lowercase (start/end tags only)
+  std::vector<Attribute> attributes;
+  bool self_closing = false;
+
+  // Re-generates wire text from the structured fields (tags) or returns
+  // `raw` (other kinds).
+  std::string Regenerate() const;
+};
+
+// Lexes an HTML document.  Never fails: malformed markup degrades to text
+// tokens (a real web server must serve whatever the author wrote).
+// Contents of <script> and <style> are emitted as single text tokens.
+std::vector<Token> Tokenize(std::string_view html);
+
+// Concatenates the raw text of all tokens (byte-exact round trip).
+std::string SerializeTokens(const std::vector<Token>& tokens);
+
+// True for void elements (img, br, hr, ...) that never take an end tag.
+bool IsVoidElement(std::string_view tag_name);
+
+}  // namespace dcws::html
+
+#endif  // DCWS_HTML_TOKEN_H_

@@ -1,0 +1,24 @@
+#include "src/http/address.h"
+
+#include "src/util/string_util.h"
+
+namespace dcws::http {
+
+Result<ServerAddress> ServerAddress::Parse(std::string_view text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Status::InvalidArgument("expected host:port, got " +
+                                   std::string(text));
+  }
+  auto port = ParseUint64(text.substr(colon + 1));
+  if (!port.has_value() || *port == 0 || *port > 65535) {
+    return Status::InvalidArgument("bad port in address: " +
+                                   std::string(text));
+  }
+  ServerAddress addr;
+  addr.host = std::string(text.substr(0, colon));
+  addr.port = static_cast<uint16_t>(*port);
+  return addr;
+}
+
+}  // namespace dcws::http

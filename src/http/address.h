@@ -1,0 +1,42 @@
+#ifndef DCWS_HTTP_ADDRESS_H_
+#define DCWS_HTTP_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace dcws::http {
+
+// Identity of one DCWS server process (the GLT "Server" field and the LDG
+// "Location" field).  Comparable and hashable so it keys tables directly.
+struct ServerAddress {
+  std::string host;
+  uint16_t port = 80;
+
+  // Parses "host:port" (port required — DCWS deployments routinely run
+  // several servers per machine).
+  static Result<ServerAddress> Parse(std::string_view text);
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const ServerAddress& a, const ServerAddress& b) {
+    return a.port == b.port && a.host == b.host;
+  }
+  friend bool operator<(const ServerAddress& a, const ServerAddress& b) {
+    return a.host != b.host ? a.host < b.host : a.port < b.port;
+  }
+};
+
+struct ServerAddressHash {
+  size_t operator()(const ServerAddress& a) const {
+    return std::hash<std::string>()(a.host) * 1000003u ^
+           std::hash<uint16_t>()(a.port);
+  }
+};
+
+}  // namespace dcws::http
+
+#endif  // DCWS_HTTP_ADDRESS_H_

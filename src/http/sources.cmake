@@ -1,0 +1,6 @@
+dcws_module(http
+  url.cc
+  address.cc
+  message.cc
+  wire.cc
+)

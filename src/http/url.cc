@@ -1,0 +1,105 @@
+#include "src/http/url.h"
+
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace dcws::http {
+
+Result<Url> Url::Parse(std::string_view text) {
+  std::string_view rest = text;
+  constexpr std::string_view kScheme = "http://";
+  if (rest.find("://") != std::string_view::npos) {
+    if (!StartsWith(rest, kScheme)) {
+      return Status::InvalidArgument("unsupported scheme in url: " +
+                                     std::string(text));
+    }
+    rest.remove_prefix(kScheme.size());
+  }
+  if (rest.empty()) {
+    return Status::InvalidArgument("empty url");
+  }
+
+  Url url;
+  size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  std::string_view path =
+      slash == std::string_view::npos ? "/" : rest.substr(slash);
+
+  size_t colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    url.host = std::string(authority);
+    url.port = 80;
+  } else {
+    url.host = std::string(authority.substr(0, colon));
+    auto port = ParseUint64(authority.substr(colon + 1));
+    if (!port.has_value() || *port == 0 || *port > 65535) {
+      return Status::InvalidArgument("bad port in url: " +
+                                     std::string(text));
+    }
+    url.port = static_cast<uint16_t>(*port);
+  }
+  if (url.host.empty()) {
+    return Status::InvalidArgument("empty host in url: " +
+                                   std::string(text));
+  }
+  url.path = NormalizePath(path);
+  return url;
+}
+
+std::string Url::ToString() const {
+  return "http://" + Authority() + path;
+}
+
+std::string Url::Authority() const {
+  return host + ":" + std::to_string(port);
+}
+
+std::string NormalizePath(std::string_view path) {
+  bool trailing_slash = EndsWith(path, "/");
+  std::vector<std::string_view> kept;
+  for (std::string_view seg : Split(path, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (!kept.empty()) kept.pop_back();
+      continue;
+    }
+    kept.push_back(seg);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < kept.size(); ++i) {
+    out.append(kept[i]);
+    if (i + 1 < kept.size()) out.push_back('/');
+  }
+  if (trailing_slash && kept.size() > 0) out.push_back('/');
+  return out;
+}
+
+bool IsAbsoluteUrl(std::string_view href) {
+  return href.find("://") != std::string_view::npos;
+}
+
+std::string ResolveReference(std::string_view base_path,
+                             std::string_view href) {
+  // Strip fragment and query: the document identity is the path.
+  size_t cut = href.find_first_of("#?");
+  if (cut != std::string_view::npos) href = href.substr(0, cut);
+
+  if (IsAbsoluteUrl(href)) return std::string(href);
+  if (href.empty()) return NormalizePath(base_path);
+  if (href.front() == '/') return NormalizePath(href);
+
+  // Relative: resolve against the directory of base_path.
+  size_t last_slash = base_path.rfind('/');
+  std::string joined;
+  if (last_slash == std::string_view::npos) {
+    joined = "/";
+  } else {
+    joined = std::string(base_path.substr(0, last_slash + 1));
+  }
+  joined.append(href);
+  return NormalizePath(joined);
+}
+
+}  // namespace dcws::http

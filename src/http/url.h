@@ -1,0 +1,55 @@
+#ifndef DCWS_HTTP_URL_H_
+#define DCWS_HTTP_URL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace dcws::http {
+
+// A parsed absolute http URL.  DCWS document names are site-relative paths
+// ("/guide/items.html"); a Url binds such a path to a hosting server.
+struct Url {
+  std::string host;
+  uint16_t port = 80;
+  std::string path = "/";  // always begins with '/'
+
+  // Parses "http://host[:port]/path" or a bare "host[:port]/path".
+  // The scheme, when present, must be http.
+  static Result<Url> Parse(std::string_view text);
+
+  // "http://host:port/path" (port always explicit: DCWS servers are
+  // routinely on non-default ports and the ~migrate convention needs it).
+  std::string ToString() const;
+
+  // "host:port" — the server address part.
+  std::string Authority() const;
+
+  friend bool operator==(const Url& a, const Url& b) {
+    return a.host == b.host && a.port == b.port && a.path == b.path;
+  }
+};
+
+// Removes "." and ".." segments from an absolute path.  ".." never climbs
+// above the root.  Preserves a trailing slash.
+std::string NormalizePath(std::string_view path);
+
+// Resolves `href` as found inside the document at absolute path
+// `base_path` (RFC-1808 style, restricted to what HTML links need):
+//  - "http://..."      -> returned unchanged (absolute URL)
+//  - "/abs/path"       -> normalized absolute path
+//  - "rel/path.html"   -> joined against base_path's directory
+// Fragments ("#...") and query strings are stripped: DCWS migrates whole
+// documents, so the document identity is the path alone.
+std::string ResolveReference(std::string_view base_path,
+                             std::string_view href);
+
+// True if `href` names a different site (absolute URL with a host), i.e.
+// it can never refer to a local document.
+bool IsAbsoluteUrl(std::string_view href);
+
+}  // namespace dcws::http
+
+#endif  // DCWS_HTTP_URL_H_

@@ -1,0 +1,80 @@
+#include "src/load/glt.h"
+
+#include <algorithm>
+
+namespace dcws::load {
+
+void GlobalLoadTable::RegisterPeer(const http::ServerAddress& server) {
+  std::lock_guard lock(mutex_);
+  entries_.try_emplace(server, LoadEntry{server, 0, -1});
+}
+
+void GlobalLoadTable::Update(const http::ServerAddress& server,
+                             double load_metric, MicroTime updated_at) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] =
+      entries_.try_emplace(server, LoadEntry{server, load_metric,
+                                             updated_at});
+  if (!inserted && updated_at >= it->second.updated_at) {
+    it->second.load_metric = load_metric;
+    it->second.updated_at = updated_at;
+  }
+}
+
+Result<LoadEntry> GlobalLoadTable::Get(
+    const http::ServerAddress& server) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(server);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown server " + server.ToString());
+  }
+  return it->second;
+}
+
+std::vector<LoadEntry> GlobalLoadTable::Snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<LoadEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [server, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const LoadEntry& a, const LoadEntry& b) {
+              return a.server < b.server;
+            });
+  return out;
+}
+
+size_t GlobalLoadTable::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::optional<http::ServerAddress> GlobalLoadTable::LeastLoaded(
+    const http::ServerAddress& self) const {
+  std::lock_guard lock(mutex_);
+  const LoadEntry* best = nullptr;
+  for (const auto& [server, entry] : entries_) {
+    if (server == self) continue;
+    if (best == nullptr || entry.load_metric < best->load_metric ||
+        (entry.load_metric == best->load_metric &&
+         entry.server < best->server)) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->server;
+}
+
+std::vector<http::ServerAddress> GlobalLoadTable::StalePeers(
+    MicroTime now, MicroTime max_age) const {
+  std::lock_guard lock(mutex_);
+  std::vector<http::ServerAddress> stale;
+  for (const auto& [server, entry] : entries_) {
+    if (entry.updated_at < 0 || now - entry.updated_at > max_age) {
+      stale.push_back(server);
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  return stale;
+}
+
+}  // namespace dcws::load

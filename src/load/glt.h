@@ -1,0 +1,71 @@
+#ifndef DCWS_LOAD_GLT_H_
+#define DCWS_LOAD_GLT_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/address.h"
+#include "src/util/clock.h"
+#include "src/util/result.h"
+
+namespace dcws::load {
+
+// One row of the Global Load Table: (Server, LoadMetric), §3.3, plus the
+// freshness timestamp the best-effort consistency scheme needs.
+struct LoadEntry {
+  http::ServerAddress server;
+  double load_metric = 0;     // connections/sec over the stats window
+  MicroTime updated_at = -1;  // local receive time; -1 = never heard from
+};
+
+// Each server's local, best-effort copy of the global server-group state.
+// Entries are refreshed by piggybacked headers on ordinary HTTP transfers
+// and by pinger probes; "each node maintains its own local view of the
+// global state".
+//
+// Thread-safe.
+class GlobalLoadTable {
+ public:
+  GlobalLoadTable() = default;
+  GlobalLoadTable(const GlobalLoadTable&) = delete;
+  GlobalLoadTable& operator=(const GlobalLoadTable&) = delete;
+
+  // Makes `server` known with no load information yet (configuration
+  // time: the server group membership is administrated, §3.2).
+  void RegisterPeer(const http::ServerAddress& server);
+
+  // Records a fresh observation.  Older observations (per updated_at)
+  // never overwrite newer ones, so out-of-order piggybacks are harmless.
+  void Update(const http::ServerAddress& server, double load_metric,
+              MicroTime updated_at);
+
+  Result<LoadEntry> Get(const http::ServerAddress& server) const;
+  std::vector<LoadEntry> Snapshot() const;
+  size_t size() const;
+
+  // The co-op candidate: the known server with the lowest load metric,
+  // excluding `self` ("the server with the lowest LoadMetric value is
+  // selected", §4.2).  Servers never heard from count as load 0 — an
+  // idle machine is exactly what we want to recruit.  Ties break on
+  // address ordering for determinism.
+  std::optional<http::ServerAddress> LeastLoaded(
+      const http::ServerAddress& self) const;
+
+  // Peers whose information is older than `max_age` at time `now`
+  // (candidates for artificial pinger transfers, §4.5).
+  std::vector<http::ServerAddress> StalePeers(MicroTime now,
+                                              MicroTime max_age) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<http::ServerAddress, LoadEntry,
+                     http::ServerAddressHash>
+      entries_;
+};
+
+}  // namespace dcws::load
+
+#endif  // DCWS_LOAD_GLT_H_

@@ -1,0 +1,81 @@
+#include "src/load/piggyback.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace dcws::load {
+
+std::string EncodeLoadHeader(const std::vector<LoadEntry>& entries,
+                             MicroTime now) {
+  std::string out;
+  for (const LoadEntry& entry : entries) {
+    if (entry.updated_at < 0) continue;
+    MicroTime age = now >= entry.updated_at ? now - entry.updated_at : 0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s=%.3f;%lld",
+                  entry.server.ToString().c_str(), entry.load_metric,
+                  static_cast<long long>(age));
+    if (!out.empty()) out += ",";
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<DecodedLoad> DecodeLoadHeader(std::string_view header_value) {
+  std::vector<DecodedLoad> out;
+  for (std::string_view item : SplitSkipEmpty(header_value, ',')) {
+    item = Trim(item);
+    size_t eq = item.rfind('=');
+    if (eq == std::string_view::npos) continue;
+    size_t semi = item.find(';', eq);
+    if (semi == std::string_view::npos) continue;
+
+    auto addr = http::ServerAddress::Parse(item.substr(0, eq));
+    if (!addr.ok()) continue;
+
+    std::string metric_text(item.substr(eq + 1, semi - eq - 1));
+    char* end = nullptr;
+    double metric = std::strtod(metric_text.c_str(), &end);
+    if (end == metric_text.c_str() || metric < 0) continue;
+
+    auto age = ParseUint64(item.substr(semi + 1));
+    if (!age.has_value()) continue;
+
+    DecodedLoad decoded;
+    decoded.server = std::move(addr).value();
+    decoded.load_metric = metric;
+    decoded.age = static_cast<MicroTime>(*age);
+    out.push_back(std::move(decoded));
+  }
+  return out;
+}
+
+void AttachLoadInfo(const GlobalLoadTable& table,
+                    const http::ServerAddress& self, MicroTime now,
+                    http::HeaderMap& headers) {
+  std::string encoded = EncodeLoadHeader(table.Snapshot(), now);
+  if (!encoded.empty()) {
+    headers.Set(std::string(http::kHeaderDcwsLoad), std::move(encoded));
+  }
+  headers.Set(std::string(http::kHeaderDcwsServer), self.ToString());
+}
+
+std::optional<http::ServerAddress> AbsorbLoadInfo(
+    const http::HeaderMap& headers, MicroTime now,
+    GlobalLoadTable& table) {
+  if (auto value = headers.Get(http::kHeaderDcwsLoad)) {
+    for (const DecodedLoad& decoded : DecodeLoadHeader(*value)) {
+      table.Update(decoded.server, decoded.load_metric,
+                   now - decoded.age);
+    }
+  }
+  if (auto sender_text = headers.Get(http::kHeaderDcwsServer)) {
+    auto sender = http::ServerAddress::Parse(*sender_text);
+    if (sender.ok()) return std::move(sender).value();
+  }
+  return std::nullopt;
+}
+
+}  // namespace dcws::load

@@ -1,0 +1,55 @@
+#ifndef DCWS_LOAD_PIGGYBACK_H_
+#define DCWS_LOAD_PIGGYBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/http/message.h"
+#include "src/load/glt.h"
+#include "src/util/clock.h"
+
+namespace dcws::load {
+
+// Piggybacked load information (paper §3.3): DCWS servers append their
+// view of the Global Load Table to ordinary HTTP transfers using
+// extension headers, so load dissemination costs no extra connections.
+//
+// Wire format (one X-DCWS-Load header):
+//   host:port=metric;age_us , host:port=metric;age_us , ...
+// Ages — not absolute timestamps — cross the wire, because cooperating
+// servers "may be located in different networks, or even different
+// continents" and share no clock.  The receiver rebases each entry to its
+// own clock: updated_at = now - age (network latency makes entries look
+// slightly staler than they are, which only errs toward refreshing).
+// A second header, X-DCWS-Server, names the sender so receivers can track
+// peer liveness.
+
+// Serializes `entries` relative to `now`.  Entries never heard from
+// (updated_at < 0) are skipped — there is nothing to report.
+std::string EncodeLoadHeader(const std::vector<LoadEntry>& entries,
+                             MicroTime now);
+
+// Parses a header produced by EncodeLoadHeader.  Malformed entries are
+// skipped (a robust server must not fail on a peer's bad header); the
+// count of parsed entries is returned.
+struct DecodedLoad {
+  http::ServerAddress server;
+  double load_metric = 0;
+  MicroTime age = 0;
+};
+std::vector<DecodedLoad> DecodeLoadHeader(std::string_view header_value);
+
+// Stamps the two DCWS extension headers onto an outgoing message.
+void AttachLoadInfo(const GlobalLoadTable& table,
+                    const http::ServerAddress& self, MicroTime now,
+                    http::HeaderMap& headers);
+
+// Absorbs piggybacked info from an incoming message into `table`.
+// Returns the sender address if an X-DCWS-Server header was present (the
+// caller marks that peer fresh).
+std::optional<http::ServerAddress> AbsorbLoadInfo(
+    const http::HeaderMap& headers, MicroTime now, GlobalLoadTable& table);
+
+}  // namespace dcws::load
+
+#endif  // DCWS_LOAD_PIGGYBACK_H_

@@ -1,0 +1,41 @@
+#include "src/load/pinger.h"
+
+#include <algorithm>
+
+namespace dcws::load {
+
+std::vector<http::ServerAddress> PingerPolicy::PeersToProbe(
+    const GlobalLoadTable& table, MicroTime now) const {
+  std::vector<http::ServerAddress> stale =
+      table.StalePeers(now, config_.staleness_limit);
+  std::erase_if(stale, [this](const http::ServerAddress& peer) {
+    return IsDown(peer);
+  });
+  return stale;
+}
+
+void PingerPolicy::RecordProbeResult(const http::ServerAddress& peer,
+                                     bool success) {
+  if (success) {
+    consecutive_failures_.erase(peer);
+  } else {
+    consecutive_failures_[peer] += 1;
+  }
+}
+
+bool PingerPolicy::IsDown(const http::ServerAddress& peer) const {
+  auto it = consecutive_failures_.find(peer);
+  return it != consecutive_failures_.end() &&
+         it->second >= config_.max_consecutive_failures;
+}
+
+std::vector<http::ServerAddress> PingerPolicy::DownPeers() const {
+  std::vector<http::ServerAddress> down;
+  for (const auto& [peer, failures] : consecutive_failures_) {
+    if (failures >= config_.max_consecutive_failures) down.push_back(peer);
+  }
+  std::sort(down.begin(), down.end());
+  return down;
+}
+
+}  // namespace dcws::load

@@ -1,0 +1,55 @@
+#ifndef DCWS_LOAD_PINGER_H_
+#define DCWS_LOAD_PINGER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/address.h"
+#include "src/load/glt.h"
+#include "src/util/clock.h"
+
+namespace dcws::load {
+
+// Decision logic for the pinger thread (§3.3, §4.5): when load
+// information about a peer has not been refreshed within the activation
+// interval, generate an artificial HTTP transfer; when several
+// consecutive probes fail, declare the peer down so the server can recall
+// its migrated documents.
+//
+// This class is pure policy — the owning server performs the actual
+// probes — so the same code drives the simulator's virtual pinger and
+// the in-process cluster's real pinger thread.  Not thread-safe; the
+// pinger runs on one thread.
+class PingerPolicy {
+ public:
+  struct Config {
+    MicroTime staleness_limit = 20 * kMicrosPerSecond;  // T_pi
+    int max_consecutive_failures = 3;
+  };
+
+  explicit PingerPolicy(Config config) : config_(config) {}
+
+  // Peers whose GLT entry is older than the staleness limit and that are
+  // not already declared down.  Called once per pinger wake-up.
+  std::vector<http::ServerAddress> PeersToProbe(
+      const GlobalLoadTable& table, MicroTime now) const;
+
+  // Records a probe outcome.  A success clears the failure count and any
+  // down state (a machine may come back).
+  void RecordProbeResult(const http::ServerAddress& peer, bool success);
+
+  // True once max_consecutive_failures probes in a row have failed.
+  bool IsDown(const http::ServerAddress& peer) const;
+  std::vector<http::ServerAddress> DownPeers() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::unordered_map<http::ServerAddress, int, http::ServerAddressHash>
+      consecutive_failures_;
+};
+
+}  // namespace dcws::load
+
+#endif  // DCWS_LOAD_PINGER_H_

@@ -1,0 +1,5 @@
+dcws_module(load
+  glt.cc
+  piggyback.cc
+  pinger.cc
+)

@@ -1,0 +1,47 @@
+#include "src/metrics/rate_window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcws::metrics {
+
+RateWindow::RateWindow(MicroTime window) : window_(window) {
+  assert(window > 0);
+  bucket_width_ = std::max<MicroTime>(window / 16, 1);
+}
+
+void RateWindow::Record(MicroTime now, uint64_t bytes) {
+  Expire(now);
+  MicroTime bucket_start = now - now % bucket_width_;
+  if (buckets_.empty() || buckets_.back().start != bucket_start) {
+    buckets_.push_back(Bucket{bucket_start, 0, 0});
+  }
+  buckets_.back().connections += 1;
+  buckets_.back().bytes += bytes;
+  total_connections_ += 1;
+  total_bytes_ += bytes;
+}
+
+void RateWindow::Expire(MicroTime now) const {
+  MicroTime horizon = now - window_;
+  while (!buckets_.empty() &&
+         buckets_.front().start + bucket_width_ <= horizon) {
+    buckets_.pop_front();
+  }
+}
+
+double RateWindow::Cps(MicroTime now) const {
+  Expire(now);
+  uint64_t connections = 0;
+  for (const Bucket& b : buckets_) connections += b.connections;
+  return static_cast<double>(connections) / ToSeconds(window_);
+}
+
+double RateWindow::Bps(MicroTime now) const {
+  Expire(now);
+  uint64_t bytes = 0;
+  for (const Bucket& b : buckets_) bytes += b.bytes;
+  return static_cast<double>(bytes) / ToSeconds(window_);
+}
+
+}  // namespace dcws::metrics

@@ -1,0 +1,55 @@
+#ifndef DCWS_METRICS_RATE_WINDOW_H_
+#define DCWS_METRICS_RATE_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/util/clock.h"
+
+namespace dcws::metrics {
+
+// Sliding-window event/byte rate tracker.  This is the paper's LoadMetric:
+// "the total number of requests per minute could be used as a satisfactory
+// load metric" — we track both connections and bytes over a configurable
+// window and expose CPS and BPS.
+//
+// Events are recorded in coarse buckets (window/16) so memory stays O(1)
+// regardless of request rate.  Not thread-safe; callers hold their own
+// locks (core::Server) or run single-threaded (simulator).
+class RateWindow {
+ public:
+  explicit RateWindow(MicroTime window = 10 * kMicrosPerSecond);
+
+  // Records one completed connection that transferred `bytes`.
+  void Record(MicroTime now, uint64_t bytes);
+
+  // Connections per second over the trailing window ending at `now`.
+  double Cps(MicroTime now) const;
+  // Bytes per second over the trailing window ending at `now`.
+  double Bps(MicroTime now) const;
+
+  // Lifetime totals (never expire).
+  uint64_t total_connections() const { return total_connections_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  MicroTime window() const { return window_; }
+
+ private:
+  struct Bucket {
+    MicroTime start = 0;
+    uint64_t connections = 0;
+    uint64_t bytes = 0;
+  };
+
+  void Expire(MicroTime now) const;
+
+  MicroTime window_;
+  MicroTime bucket_width_;
+  mutable std::deque<Bucket> buckets_;
+  uint64_t total_connections_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dcws::metrics
+
+#endif  // DCWS_METRICS_RATE_WINDOW_H_

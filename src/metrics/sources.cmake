@@ -1,0 +1,5 @@
+dcws_module(metrics
+  rate_window.cc
+  time_series.cc
+  table_printer.cc
+)

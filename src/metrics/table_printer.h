@@ -1,0 +1,33 @@
+#ifndef DCWS_METRICS_TABLE_PRINTER_H_
+#define DCWS_METRICS_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcws::metrics {
+
+// Column-aligned plain-text table used by every bench harness, so the
+// regenerated paper tables/figures print in a consistent format.
+//
+//   TablePrinter t({"servers", "peak CPS", "peak BPS"});
+//   t.AddRow({"8", "7150", "18.6 MB/s"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcws::metrics
+
+#endif  // DCWS_METRICS_TABLE_PRINTER_H_

@@ -1,0 +1,66 @@
+#include "src/metrics/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dcws::metrics {
+
+double TimeSeries::Max() const {
+  double best = 0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0;
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::TailMean(double fraction) const {
+  assert(fraction > 0 && fraction <= 1.0);
+  if (values_.empty()) return 0;
+  size_t n = std::max<size_t>(
+      1, static_cast<size_t>(values_.size() * fraction));
+  double sum = 0;
+  for (size_t i = values_.size() - n; i < values_.size(); ++i) {
+    sum += values_[i];
+  }
+  return sum / static_cast<double>(n);
+}
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  s.p99 = Percentile(values, 0.99);
+  return s;
+}
+
+}  // namespace dcws::metrics

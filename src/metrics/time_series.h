@@ -1,0 +1,62 @@
+#ifndef DCWS_METRICS_TIME_SERIES_H_
+#define DCWS_METRICS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/clock.h"
+
+namespace dcws::metrics {
+
+// A named sequence of (time, value) samples at a fixed nominal interval,
+// e.g. CPS sampled every 10 simulated seconds for Figure 8.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, MicroTime interval)
+      : name_(std::move(name)), interval_(interval) {}
+
+  void Append(MicroTime t, double value) {
+    times_.push_back(t);
+    values_.push_back(value);
+  }
+
+  const std::string& name() const { return name_; }
+  MicroTime interval() const { return interval_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  MicroTime time_at(size_t i) const { return times_[i]; }
+  double value_at(size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  double Max() const;
+  double Mean() const;
+  // Mean over the trailing fraction (0,1] of samples — used to read a
+  // steady-state value off the end of a warm-up curve.
+  double TailMean(double fraction) const;
+
+ private:
+  std::string name_;
+  MicroTime interval_;
+  std::vector<MicroTime> times_;
+  std::vector<double> values_;
+};
+
+// Aggregate statistics over a batch of scalar observations.
+struct Summary {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+Summary Summarize(std::vector<double> values);
+
+}  // namespace dcws::metrics
+
+#endif  // DCWS_METRICS_TIME_SERIES_H_

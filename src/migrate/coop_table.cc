@@ -1,0 +1,107 @@
+#include "src/migrate/coop_table.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dcws::migrate {
+
+CoopHostTable::Action CoopHostTable::OnRequest(const std::string& target,
+                                               const MigratedName& name,
+                                               MicroTime now) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = hosted_.try_emplace(target);
+  HostedDoc& doc = it->second;
+  if (inserted) {
+    doc.name = name;
+    doc.target = target;
+    doc.first_seen = now;
+  }
+  doc.hits += 1;
+  if (!doc.fetched) return Action::kFetchFromHome;
+  if (doc.last_validated < 0 ||
+      now - doc.last_validated > config_.revalidate_interval) {
+    return Action::kFetchFromHome;
+  }
+  return Action::kServeLocal;
+}
+
+void CoopHostTable::MarkFetched(const std::string& target, MicroTime now) {
+  std::lock_guard lock(mutex_);
+  auto it = hosted_.find(target);
+  if (it == hosted_.end()) return;
+  it->second.fetched = true;
+  it->second.last_validated = now;
+}
+
+void CoopHostTable::MarkFetchFailed(const std::string& target) {
+  std::lock_guard lock(mutex_);
+  auto it = hosted_.find(target);
+  if (it == hosted_.end()) return;
+  // Nothing to roll back: `fetched` only flips in MarkFetched.  Keep the
+  // entry so the next request retries the home server.
+  (void)it;
+}
+
+std::vector<CoopHostTable::HostedDoc> CoopHostTable::ValidationDue(
+    MicroTime now) const {
+  std::lock_guard lock(mutex_);
+  std::vector<HostedDoc> due;
+  for (const auto& [target, doc] : hosted_) {
+    if (!doc.fetched) continue;  // first fetch happens on demand
+    if (now - doc.last_validated > config_.revalidate_interval) {
+      due.push_back(doc);
+    }
+  }
+  std::sort(due.begin(), due.end(),
+            [](const HostedDoc& a, const HostedDoc& b) {
+              return a.target < b.target;
+            });
+  return due;
+}
+
+bool CoopHostTable::Revoke(const std::string& target) {
+  std::lock_guard lock(mutex_);
+  return hosted_.erase(target) > 0;
+}
+
+bool CoopHostTable::IsHosted(const std::string& target) const {
+  std::lock_guard lock(mutex_);
+  auto it = hosted_.find(target);
+  return it != hosted_.end() && it->second.fetched;
+}
+
+Result<CoopHostTable::HostedDoc> CoopHostTable::Get(
+    const std::string& target) const {
+  std::lock_guard lock(mutex_);
+  auto it = hosted_.find(target);
+  if (it == hosted_.end()) {
+    return Status::NotFound("not hosted: " + target);
+  }
+  return it->second;
+}
+
+std::vector<CoopHostTable::HostedDoc> CoopHostTable::Snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<HostedDoc> out;
+  out.reserve(hosted_.size());
+  for (const auto& [target, doc] : hosted_) out.push_back(doc);
+  std::sort(out.begin(), out.end(),
+            [](const HostedDoc& a, const HostedDoc& b) {
+              return a.target < b.target;
+            });
+  return out;
+}
+
+size_t CoopHostTable::size() const {
+  std::lock_guard lock(mutex_);
+  return hosted_.size();
+}
+
+std::vector<http::ServerAddress> CoopHostTable::HomeServers() const {
+  std::lock_guard lock(mutex_);
+  std::set<http::ServerAddress> homes;
+  for (const auto& [target, doc] : hosted_) homes.insert(doc.name.home);
+  return std::vector<http::ServerAddress>(homes.begin(), homes.end());
+}
+
+}  // namespace dcws::migrate

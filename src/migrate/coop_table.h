@@ -1,0 +1,84 @@
+#ifndef DCWS_MIGRATE_COOP_TABLE_H_
+#define DCWS_MIGRATE_COOP_TABLE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/migrate/naming.h"
+#include "src/util/clock.h"
+#include "src/util/result.h"
+
+namespace dcws::migrate {
+
+// Co-op-server-side table of documents this server hosts on behalf of
+// home servers.  An entry is created the first time a ~migrate request
+// arrives (lazy migration, §4.2); the physical copy is fetched from the
+// home server at that point and re-validated every T_val thereafter
+// (§4.5 consistency).  Revocation removes the entry; the bytes stay in
+// the document store as a best-effort crash reserve ("a co-op server
+// should not throw away any data until absolutely necessary").
+//
+// Thread-safe: worker threads consult it per-request.
+class CoopHostTable {
+ public:
+  struct Config {
+    MicroTime revalidate_interval = 120 * kMicrosPerSecond;  // T_val
+  };
+
+  // What the server must do for an arriving ~migrate request.
+  enum class Action {
+    kServeLocal,     // hosted + physically present + validation current
+    kFetchFromHome,  // first request, or validation overdue: refetch
+  };
+
+  struct HostedDoc {
+    MigratedName name;
+    std::string target;  // the ~migrate request target (table key)
+    bool fetched = false;
+    MicroTime first_seen = 0;
+    MicroTime last_validated = -1;
+    uint64_t hits = 0;
+  };
+
+  explicit CoopHostTable(Config config) : config_(config) {}
+
+  // Registers/refreshes the entry for an arriving ~migrate `target`
+  // (already validated by DecodeMigratedTarget — pass the result in) and
+  // returns the action the server must take.
+  Action OnRequest(const std::string& target, const MigratedName& name,
+                   MicroTime now);
+
+  // Marks the physical copy present and validated as of `now`.
+  void MarkFetched(const std::string& target, MicroTime now);
+
+  // A validation/fetch attempt failed; the entry stays pending so the
+  // next request retries.
+  void MarkFetchFailed(const std::string& target);
+
+  // Entries whose validation is older than T_val at `now` — the periodic
+  // re-validation sweep refetches these proactively.
+  std::vector<HostedDoc> ValidationDue(MicroTime now) const;
+
+  // Returns true if `target` was hosted here; the entry is removed.
+  bool Revoke(const std::string& target);
+
+  bool IsHosted(const std::string& target) const;
+  Result<HostedDoc> Get(const std::string& target) const;
+  std::vector<HostedDoc> Snapshot() const;
+  size_t size() const;
+
+  // Distinct home servers we host documents for (validation and pinger
+  // traffic targets).
+  std::vector<http::ServerAddress> HomeServers() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, HostedDoc> hosted_;
+};
+
+}  // namespace dcws::migrate
+
+#endif  // DCWS_MIGRATE_COOP_TABLE_H_

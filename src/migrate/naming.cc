@@ -1,0 +1,62 @@
+#include "src/migrate/naming.h"
+
+#include "src/util/string_util.h"
+
+namespace dcws::migrate {
+
+bool IsMigratedTarget(std::string_view target) {
+  return StartsWith(target, kMigratePrefix);
+}
+
+std::string EncodeMigratedTarget(const http::ServerAddress& home,
+                                 std::string_view doc_path) {
+  std::string out(kMigratePrefix);
+  out += home.host;
+  out += "/";
+  out += std::to_string(home.port);
+  if (!doc_path.empty() && doc_path.front() != '/') out += "/";
+  out += doc_path;
+  return out;
+}
+
+std::string EncodeMigratedUrl(const http::ServerAddress& coop,
+                              const http::ServerAddress& home,
+                              std::string_view doc_path) {
+  return "http://" + coop.ToString() +
+         EncodeMigratedTarget(home, doc_path);
+}
+
+Result<MigratedName> DecodeMigratedTarget(std::string_view target) {
+  if (!IsMigratedTarget(target)) {
+    return Status::InvalidArgument("not a ~migrate target: " +
+                                   std::string(target));
+  }
+  std::string_view rest = target.substr(kMigratePrefix.size());
+  // rest = h_name/h_port/<original path>
+  size_t slash1 = rest.find('/');
+  if (slash1 == std::string_view::npos || slash1 == 0) {
+    return Status::InvalidArgument("missing home host in: " +
+                                   std::string(target));
+  }
+  size_t slash2 = rest.find('/', slash1 + 1);
+  if (slash2 == std::string_view::npos) {
+    return Status::InvalidArgument("missing home port in: " +
+                                   std::string(target));
+  }
+  auto port = ParseUint64(rest.substr(slash1 + 1, slash2 - slash1 - 1));
+  if (!port.has_value() || *port == 0 || *port > 65535) {
+    return Status::InvalidArgument("bad home port in: " +
+                                   std::string(target));
+  }
+  MigratedName name;
+  name.home.host = std::string(rest.substr(0, slash1));
+  name.home.port = static_cast<uint16_t>(*port);
+  name.doc_path = std::string(rest.substr(slash2));  // keeps leading '/'
+  if (name.doc_path.empty() || name.doc_path == "/") {
+    return Status::InvalidArgument("empty document path in: " +
+                                   std::string(target));
+  }
+  return name;
+}
+
+}  // namespace dcws::migrate

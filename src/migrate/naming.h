@@ -1,0 +1,47 @@
+#ifndef DCWS_MIGRATE_NAMING_H_
+#define DCWS_MIGRATE_NAMING_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/http/address.h"
+#include "src/util/result.h"
+
+namespace dcws::migrate {
+
+// The document naming convention for migrated documents (paper §3.4).
+// A document /dir1/dir2/foo.html homed at h_name:h_port, migrated to a
+// co-op server, is served there under
+//
+//   /~migrate/h_name/h_port/dir1/dir2/foo.html
+//
+// so the co-op server can recover the home server and original URL from
+// the request target alone — no out-of-band migration directory needed.
+
+inline constexpr std::string_view kMigratePrefix = "/~migrate/";
+
+// True if `target` uses the convention ("~migrate" is the first path
+// component).
+bool IsMigratedTarget(std::string_view target);
+
+// Builds the co-op-relative target for `doc_path` homed at `home`.
+std::string EncodeMigratedTarget(const http::ServerAddress& home,
+                                 std::string_view doc_path);
+
+// Builds the full URL served by co-op `coop` for the document.
+std::string EncodeMigratedUrl(const http::ServerAddress& coop,
+                              const http::ServerAddress& home,
+                              std::string_view doc_path);
+
+struct MigratedName {
+  http::ServerAddress home;
+  std::string doc_path;  // original site-absolute path
+};
+
+// Recovers (home server, original path) from a ~migrate target.
+Result<MigratedName> DecodeMigratedTarget(std::string_view target);
+
+}  // namespace dcws::migrate
+
+#endif  // DCWS_MIGRATE_NAMING_H_

@@ -1,0 +1,75 @@
+#include "src/migrate/replication.h"
+
+#include <algorithm>
+
+namespace dcws::migrate {
+
+bool ReplicaTable::AddReplica(const std::string& doc,
+                              const http::ServerAddress& coop) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[doc];
+  if (std::find(entry.replicas.begin(), entry.replicas.end(), coop) !=
+      entry.replicas.end()) {
+    return false;
+  }
+  entry.replicas.push_back(coop);
+  return true;
+}
+
+bool ReplicaTable::RemoveReplica(const std::string& doc,
+                                 const http::ServerAddress& coop) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(doc);
+  if (it == entries_.end()) return false;
+  auto& replicas = it->second.replicas;
+  auto pos = std::find(replicas.begin(), replicas.end(), coop);
+  if (pos == replicas.end()) return false;
+  replicas.erase(pos);
+  if (replicas.empty()) entries_.erase(it);
+  return true;
+}
+
+void ReplicaTable::Clear(const std::string& doc) {
+  std::lock_guard lock(mutex_);
+  entries_.erase(doc);
+}
+
+bool ReplicaTable::IsReplicated(const std::string& doc) const {
+  std::lock_guard lock(mutex_);
+  return entries_.contains(doc);
+}
+
+std::vector<http::ServerAddress> ReplicaTable::Replicas(
+    const std::string& doc) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(doc);
+  if (it == entries_.end()) return {};
+  return it->second.replicas;
+}
+
+size_t ReplicaTable::ReplicaCount(const std::string& doc) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(doc);
+  return it == entries_.end() ? 0 : it->second.replicas.size();
+}
+
+std::optional<http::ServerAddress> ReplicaTable::PickReplica(
+    const std::string& doc) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(doc);
+  if (it == entries_.end() || it->second.replicas.empty()) {
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  const http::ServerAddress& pick =
+      entry.replicas[entry.next % entry.replicas.size()];
+  entry.next += 1;
+  return pick;
+}
+
+size_t ReplicaTable::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace dcws::migrate

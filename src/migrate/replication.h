@@ -1,0 +1,63 @@
+#ifndef DCWS_MIGRATE_REPLICATION_H_
+#define DCWS_MIGRATE_REPLICATION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/address.h"
+
+namespace dcws::migrate {
+
+// Hot-spot replication — the paper's stated future work ("we plan to
+// extend the current implementation ... so that it can handle hot spots
+// by replicating popular documents in a controlled manner", §6).  The
+// prototype limits each document to ONE co-op server, which is exactly
+// what makes SBLog/MAPUG scale sub-linearly (Figure 7): the single co-op
+// holding the hot image saturates.
+//
+// With replication enabled, a home server may place additional copies of
+// an already-migrated hot document on further co-op servers.  Requests
+// are spread by rotating which replica's URL gets written into
+// regenerated hyperlinks (round-robin per rewrite), so the load of a hot
+// document divides across its replica set with zero per-request routing
+// state — consistent with the DCWS philosophy of steering load through
+// the links themselves.
+//
+// Thread-safe.
+class ReplicaTable {
+ public:
+  // Adds a replica location; returns false if already present.
+  bool AddReplica(const std::string& doc,
+                  const http::ServerAddress& coop);
+  bool RemoveReplica(const std::string& doc,
+                     const http::ServerAddress& coop);
+  // Removes all replicas of `doc` (revocation).
+  void Clear(const std::string& doc);
+
+  bool IsReplicated(const std::string& doc) const;
+  std::vector<http::ServerAddress> Replicas(const std::string& doc) const;
+  size_t ReplicaCount(const std::string& doc) const;
+
+  // Rotates through the replica set (round-robin; includes every replica
+  // location but not the primary — callers fold the primary in by
+  // treating it as one more choice).  Returns nullopt when unreplicated.
+  std::optional<http::ServerAddress> PickReplica(const std::string& doc);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<http::ServerAddress> replicas;
+    uint64_t next = 0;  // round-robin cursor
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace dcws::migrate
+
+#endif  // DCWS_MIGRATE_REPLICATION_H_

@@ -1,0 +1,7 @@
+dcws_module(migrate
+  naming.cc
+  selection.cc
+  home_policy.cc
+  coop_table.cc
+  replication.cc
+)

@@ -1,0 +1,185 @@
+#include "src/net/inproc.h"
+
+#include "src/util/logging.h"
+
+namespace dcws::net {
+
+InprocServerHost::InprocServerHost(core::Server* server,
+                                   InprocNetwork* network)
+    : server_(server), network_(network) {}
+
+InprocServerHost::~InprocServerHost() { Stop(); }
+
+void InprocServerHost::Start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  int workers = server_->params().worker_threads;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+  duty_thread_ = std::thread([this]() { DutyLoop(); });
+}
+
+void InprocServerHost::Stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  if (duty_thread_.joinable()) duty_thread_.join();
+  {
+    std::lock_guard lock(mutex_);
+    // Fail whatever is still queued.
+    for (auto& job : queue_) {
+      job->promise.set_value(
+          Status::Unavailable("server stopped: " +
+                              server_->address().ToString()));
+    }
+    queue_.clear();
+    running_ = false;
+  }
+}
+
+Result<http::Response> InprocServerHost::Call(
+    const http::Request& request) {
+  std::future<Result<http::Response>> future;
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_ || stopping_) {
+      return Status::Unavailable("server not running: " +
+                                 server_->address().ToString());
+    }
+    if (queue_.size() >=
+        static_cast<size_t>(server_->params().socket_queue_length)) {
+      // Socket queue overflow: graceful 503 (§5.2).
+      dropped_ += 1;
+      return http::MakeOverloadedResponse();
+    }
+    auto job = std::make_unique<Job>();
+    job->request = request;
+    future = job->promise.get_future();
+    queue_.push_back(std::move(job));
+    accepted_ += 1;
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+void InprocServerHost::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // The handler may itself call back into the network (co-op fetch),
+    // blocking this worker on another host's queue — exactly as a real
+    // worker thread blocks on an upstream HTTP connection.
+    http::Response response = server_->HandleRequest(job->request, network_);
+    job->promise.set_value(std::move(response));
+  }
+}
+
+void InprocServerHost::DutyLoop() {
+  // The statistics module and pinger thread of the paper, folded into
+  // one duty thread that polls Tick (Tick itself spaces the real work by
+  // T_st / T_pi / T_val).
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    server_->Tick(network_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+uint64_t InprocServerHost::accepted() const {
+  std::lock_guard lock(mutex_);
+  return accepted_;
+}
+
+uint64_t InprocServerHost::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+InprocNetwork::~InprocNetwork() { StopAll(); }
+
+InprocServerHost& InprocNetwork::AddServer(core::Server* server) {
+  std::lock_guard lock(mutex_);
+  auto host = std::make_unique<InprocServerHost>(server, this);
+  host->Start();
+  auto [it, inserted] =
+      hosts_.emplace(server->address(), std::move(host));
+  return *it->second;
+}
+
+InprocServerHost* InprocNetwork::Find(
+    const http::ServerAddress& address) const {
+  std::lock_guard lock(mutex_);
+  auto it = hosts_.find(address);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void InprocNetwork::SetDown(const http::ServerAddress& address,
+                            bool down) {
+  std::lock_guard lock(mutex_);
+  if (down) {
+    down_.insert(address);
+  } else {
+    down_.erase(address);
+  }
+}
+
+bool InprocNetwork::IsDown(const http::ServerAddress& address) const {
+  std::lock_guard lock(mutex_);
+  return down_.contains(address);
+}
+
+void InprocNetwork::StopAll() {
+  // Stop outside the map lock: workers may be blocked in Execute, which
+  // needs Find.
+  std::vector<InprocServerHost*> hosts;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [address, host] : hosts_) hosts.push_back(host.get());
+  }
+  for (InprocServerHost* host : hosts) host->Stop();
+}
+
+Result<http::Response> InprocNetwork::Execute(
+    const http::ServerAddress& target, const http::Request& request) {
+  InprocServerHost* host = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (down_.contains(target)) {
+      return Status::Unavailable("server down: " + target.ToString());
+    }
+    auto it = hosts_.find(target);
+    if (it == hosts_.end()) {
+      return Status::NotFound("no such server: " + target.ToString());
+    }
+    host = it->second.get();
+  }
+  return host->Call(request);
+}
+
+Result<http::Response> InprocFetcher::Fetch(const http::Url& url) {
+  http::Request request;
+  request.method = "GET";
+  request.target = url.path;
+  request.headers.Set(std::string(http::kHeaderHost), url.Authority());
+  return network_->Execute({url.host, url.port}, request);
+}
+
+}  // namespace dcws::net

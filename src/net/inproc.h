@@ -1,0 +1,117 @@
+#ifndef DCWS_NET_INPROC_H_
+#define DCWS_NET_INPROC_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/workload/browse.h"
+
+namespace dcws::net {
+
+class InprocNetwork;
+
+// One DCWS server process realized with real threads, mirroring the
+// paper's §5.1 architecture: a bounded accept queue (the socket queue,
+// L_sq), N_wk worker threads draining it, and one statistics/pinger
+// thread running the periodic duties.  Lives inside the test process —
+// the transport is a queue hand-off instead of a TCP connection, but the
+// concurrency (many workers + background duties against one Server) is
+// genuine.
+class InprocServerHost {
+ public:
+  InprocServerHost(core::Server* server, InprocNetwork* network);
+  ~InprocServerHost();
+
+  InprocServerHost(const InprocServerHost&) = delete;
+  InprocServerHost& operator=(const InprocServerHost&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  core::Server& server() { return *server_; }
+
+  // Enqueues a request; blocks until the response is ready.  Returns 503
+  // immediately when the socket queue is full.
+  Result<http::Response> Call(const http::Request& request);
+
+  uint64_t accepted() const;
+  uint64_t dropped() const;
+
+ private:
+  struct Job {
+    http::Request request;
+    std::promise<Result<http::Response>> promise;
+  };
+
+  void WorkerLoop();
+  void DutyLoop();
+
+  core::Server* server_;
+  InprocNetwork* network_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  uint64_t accepted_ = 0;
+  uint64_t dropped_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::thread duty_thread_;
+};
+
+// Routes server-to-server and client traffic between hosts in this
+// process.  Implements core::PeerClient so Server's internal calls
+// (migration fetches, validations, pings, revokes) travel through the
+// same queues as client requests.  Supports crash injection.
+class InprocNetwork : public core::PeerClient {
+ public:
+  ~InprocNetwork() override;
+
+  // Creates (and starts) a host for `server`.  The server must outlive
+  // the network.
+  InprocServerHost& AddServer(core::Server* server);
+
+  InprocServerHost* Find(const http::ServerAddress& address) const;
+
+  void SetDown(const http::ServerAddress& address, bool down);
+  bool IsDown(const http::ServerAddress& address) const;
+
+  void StopAll();
+
+  Result<http::Response> Execute(const http::ServerAddress& target,
+                                 const http::Request& request) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<http::ServerAddress,
+                     std::unique_ptr<InprocServerHost>,
+                     http::ServerAddressHash>
+      hosts_;
+  std::set<http::ServerAddress> down_;
+};
+
+// workload::Fetcher over an InprocNetwork, for driving Algorithm-2
+// clients (examples, integration tests) against a threaded cluster.
+class InprocFetcher : public workload::Fetcher {
+ public:
+  explicit InprocFetcher(InprocNetwork* network) : network_(network) {}
+  Result<http::Response> Fetch(const http::Url& url) override;
+
+ private:
+  InprocNetwork* network_;
+};
+
+}  // namespace dcws::net
+
+#endif  // DCWS_NET_INPROC_H_

@@ -1,0 +1,122 @@
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dcws::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenLoopback(uint16_t port, int backlog,
+                              uint16_t* bound_port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::Internal(Errno("socket"));
+  }
+  int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Status::Internal(Errno("bind"));
+  }
+  if (::listen(socket.fd(), backlog) < 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                      &len) < 0) {
+      return Status::Internal(Errno("getsockname"));
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return socket;
+}
+
+Result<Socket> ConnectLoopback(uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::Internal(Errno("socket"));
+  }
+  int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Status::Unavailable(Errno("connect"));
+  }
+  return socket;
+}
+
+Status WriteAll(const Socket& socket, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(socket.fd(), data.data() + sent,
+                       data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadSome(const Socket& socket, size_t max) {
+  std::string buffer;
+  buffer.resize(max);
+  while (true) {
+    ssize_t n = ::recv(socket.fd(), buffer.data(), max, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("recv"));
+    }
+    buffer.resize(static_cast<size_t>(n));
+    return buffer;
+  }
+}
+
+}  // namespace dcws::net

@@ -1,0 +1,5 @@
+dcws_module(net
+  inproc.cc
+  socket_util.cc
+  tcp.cc
+)

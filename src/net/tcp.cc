@@ -1,0 +1,210 @@
+#include "src/net/tcp.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/http/wire.h"
+#include "src/util/logging.h"
+
+namespace dcws::net {
+
+TcpServerHost::TcpServerHost(core::Server* server, TcpNetwork* network)
+    : server_(server), network_(network) {}
+
+Result<std::unique_ptr<TcpServerHost>> TcpServerHost::Start(
+    core::Server* server, TcpNetwork* network, uint16_t listen_port) {
+  std::unique_ptr<TcpServerHost> host(
+      new TcpServerHost(server, network));
+  uint16_t bound = 0;
+  DCWS_ASSIGN_OR_RETURN(
+      host->listener_,
+      ListenLoopback(listen_port,
+                     server->params().socket_queue_length, &bound));
+  host->port_ = bound;
+
+  host->accept_thread_ = std::thread([h = host.get()]() {
+    h->AcceptLoop();
+  });
+  int workers = server->params().worker_threads;
+  host->workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    host->workers_.emplace_back([h = host.get()]() { h->WorkerLoop(); });
+  }
+  host->duty_thread_ = std::thread([h = host.get()]() { h->DutyLoop(); });
+  return host;
+}
+
+TcpServerHost::~TcpServerHost() { Stop(); }
+
+void TcpServerHost::Stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Closing the listener unblocks accept(); a final self-connection
+  // guards against platforms where close alone does not.
+  uint16_t port = port_;
+  listener_.Close();
+  { auto poke = ConnectLoopback(port); }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  if (duty_thread_.joinable()) duty_thread_.join();
+  std::lock_guard lock(mutex_);
+  pending_.clear();  // RAII closes any queued connections
+}
+
+void TcpServerHost::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+      continue;
+    }
+    Socket conn(fd);
+    accepted_.fetch_add(1);
+    {
+      std::lock_guard lock(mutex_);
+      if (pending_.size() <
+          static_cast<size_t>(server_->params().socket_queue_length)) {
+        pending_.push_back(std::move(conn));
+      } else {
+        // Socket queue overflow: graceful 503 (§5.2) and close.
+        dropped_.fetch_add(1);
+        (void)WriteAll(conn, http::MakeOverloadedResponse().Serialize());
+        continue;
+      }
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void TcpServerHost::WorkerLoop() {
+  while (true) {
+    Socket conn;
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this]() { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(conn));
+  }
+}
+
+void TcpServerHost::ServeConnection(Socket conn) {
+  // HTTP/1.0: one request per connection.
+  http::MessageFramer framer;
+  std::optional<std::string> wire;
+  while (!wire.has_value()) {
+    auto chunk = ReadSome(conn);
+    if (!chunk.ok() || chunk->empty()) return;  // peer went away
+    framer.Feed(*chunk);
+    if (framer.has_error()) {
+      http::Response bad;
+      bad.status_code = 400;
+      (void)WriteAll(conn, bad.Serialize());
+      return;
+    }
+    wire = framer.NextMessage();
+  }
+  auto request = http::ParseRequest(*wire);
+  if (!request.ok()) {
+    http::Response bad;
+    bad.status_code = 400;
+    (void)WriteAll(conn, bad.Serialize());
+    return;
+  }
+  http::Response response = server_->HandleRequest(*request, network_);
+  (void)WriteAll(conn, response.Serialize());
+}
+
+void TcpServerHost::DutyLoop() {
+  // Statistics + pinger thread (Tick spaces the real work by T_st /
+  // T_pi / T_val internally).
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    server_->Tick(network_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TcpNetwork::~TcpNetwork() { StopAll(); }
+
+Result<TcpServerHost*> TcpNetwork::AddServer(core::Server* server) {
+  DCWS_ASSIGN_OR_RETURN(std::unique_ptr<TcpServerHost> host,
+                        TcpServerHost::Start(server, this, 0));
+  TcpServerHost* raw = host.get();
+  std::lock_guard lock(mutex_);
+  ports_[server->address()] = raw->port();
+  hosts_.push_back(std::move(host));
+  return raw;
+}
+
+uint16_t TcpNetwork::Resolve(const http::ServerAddress& address) const {
+  std::lock_guard lock(mutex_);
+  auto it = ports_.find(address);
+  return it == ports_.end() ? 0 : it->second;
+}
+
+void TcpNetwork::StopAll() {
+  std::vector<TcpServerHost*> hosts;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& host : hosts_) hosts.push_back(host.get());
+  }
+  for (TcpServerHost* host : hosts) host->Stop();
+}
+
+Result<http::Response> TcpCall(uint16_t port,
+                               const http::Request& request) {
+  DCWS_ASSIGN_OR_RETURN(Socket conn, ConnectLoopback(port));
+  DCWS_RETURN_IF_ERROR(WriteAll(conn, request.Serialize()));
+  http::MessageFramer framer;
+  while (true) {
+    auto chunk = ReadSome(conn);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->empty()) {
+      return Status::Unavailable("connection closed mid-response");
+    }
+    framer.Feed(*chunk);
+    if (framer.has_error()) return framer.error();
+    if (auto wire = framer.NextMessage()) {
+      return http::ParseResponse(*wire);
+    }
+  }
+}
+
+Result<http::Response> TcpNetwork::Execute(
+    const http::ServerAddress& target, const http::Request& request) {
+  uint16_t port = Resolve(target);
+  if (port == 0) {
+    return Status::NotFound("no such server: " + target.ToString());
+  }
+  return TcpCall(port, request);
+}
+
+Result<http::Response> TcpFetcher::Fetch(const http::Url& url) {
+  http::Request request;
+  request.method = "GET";
+  request.target = url.path;
+  request.headers.Set(std::string(http::kHeaderHost), url.Authority());
+  return network_->Execute({url.host, url.port}, request);
+}
+
+}  // namespace dcws::net

@@ -1,0 +1,120 @@
+#ifndef DCWS_NET_TCP_H_
+#define DCWS_NET_TCP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/net/socket_util.h"
+#include "src/workload/browse.h"
+
+namespace dcws::net {
+
+class TcpNetwork;
+
+// A DCWS server on a real TCP socket — the paper's §5.1 process
+// structure made literal: one front-end thread accepting connections
+// into the bounded socket queue (L_sq; overflow answered 503 and
+// closed), N_wk worker threads parsing requests off the wire and
+// serving them, and one statistics/pinger duty thread.
+//
+// Sockets bind 127.0.0.1; server *names* (the host part of
+// ServerAddress) resolve through the owning TcpNetwork's registry, which
+// stands in for DNS.  You can point curl at the bound port.
+class TcpServerHost {
+ public:
+  // Binds and starts threads.  `listen_port` 0 picks an ephemeral port.
+  static Result<std::unique_ptr<TcpServerHost>> Start(
+      core::Server* server, TcpNetwork* network, uint16_t listen_port);
+
+  ~TcpServerHost();
+  TcpServerHost(const TcpServerHost&) = delete;
+  TcpServerHost& operator=(const TcpServerHost&) = delete;
+
+  void Stop();
+
+  core::Server& server() { return *server_; }
+  uint16_t port() const { return port_; }
+
+  uint64_t accepted() const { return accepted_.load(); }
+  uint64_t dropped() const { return dropped_.load(); }
+
+ private:
+  TcpServerHost(core::Server* server, TcpNetwork* network);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void DutyLoop();
+  // Parses one request off `conn`, serves it, writes the response.
+  // HTTP/1.0 semantics: one request per connection.
+  void ServeConnection(Socket conn);
+
+  core::Server* server_;
+  TcpNetwork* network_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> pending_;  // the socket queue (bounded by L_sq)
+  bool stopping_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread duty_thread_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Owns a group of TCP hosts and the name registry that maps DCWS server
+// names (ServerAddress.host:port) to bound loopback ports.  Implements
+// core::PeerClient so server-to-server traffic travels over real
+// sockets.
+class TcpNetwork : public core::PeerClient {
+ public:
+  ~TcpNetwork() override;
+
+  // Starts a TCP host for `server` on an ephemeral loopback port and
+  // registers its name.
+  Result<TcpServerHost*> AddServer(core::Server* server);
+
+  // The loopback port a server name resolves to (0 if unknown).
+  uint16_t Resolve(const http::ServerAddress& address) const;
+
+  void StopAll();
+
+  Result<http::Response> Execute(const http::ServerAddress& target,
+                                 const http::Request& request) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<http::ServerAddress, uint16_t,
+                     http::ServerAddressHash>
+      ports_;
+  std::vector<std::unique_ptr<TcpServerHost>> hosts_;
+};
+
+// Issues one HTTP/1.0 exchange over a fresh loopback connection.
+Result<http::Response> TcpCall(uint16_t port,
+                               const http::Request& request);
+
+// workload::Fetcher over a TcpNetwork (clients resolve names the same
+// way the servers do).
+class TcpFetcher : public workload::Fetcher {
+ public:
+  explicit TcpFetcher(TcpNetwork* network) : network_(network) {}
+  Result<http::Response> Fetch(const http::Url& url) override;
+
+ private:
+  TcpNetwork* network_;
+};
+
+}  // namespace dcws::net
+
+#endif  // DCWS_NET_TCP_H_

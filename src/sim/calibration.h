@@ -1,0 +1,64 @@
+#ifndef DCWS_SIM_CALIBRATION_H_
+#define DCWS_SIM_CALIBRATION_H_
+
+#include <cstdint>
+
+#include "src/util/clock.h"
+
+namespace dcws::sim {
+
+// Resource-cost model of the paper's testbed (§5.2): 200 MHz Pentium
+// workstations with 100 Mbps switched Ethernet (2.4 Gbps aggregate).
+//
+// These are the simulator's only free constants.  They are calibrated so
+// that one server on the LOD dataset peaks near the per-server rates the
+// paper's Figure 6 implies (~900 CPS and a few MB/s per server), and so
+// the parse/reconstruction costs equal the paper's own measurements
+// (§5.3: 3 ms parse, 20 ms reconstruct for ~6.5 KB documents).  All
+// experiments claim SHAPE fidelity, not absolute numbers.
+struct SimCalibration {
+  // ---- server side ----
+  // CPU cost of accepting, parsing and answering one connection
+  // (connection setup/tear-down packets included).
+  MicroTime connection_cpu = 900;
+  // A 301 is cheaper: no disk fetch, answer straight from the LDG (§4.4).
+  MicroTime redirect_cpu = 350;
+  // Per-byte transmission cost on the server NIC: 100 Mbps.
+  uint64_t server_nic_bytes_per_sec = 12'500'000;
+  // Paper-measured document engineering costs (§5.3).
+  MicroTime parse_cpu = 3'000;        // hyperlink parse, no reconstruction
+  MicroTime regen_cpu = 20'000;       // full parse + regenerate + write
+  // The switch fabric: 2.4 Gbps aggregate across the cluster.
+  uint64_t switch_bytes_per_sec = 300'000'000;
+
+  // ---- network ----
+  MicroTime rtt = 1'000;  // connection round-trip on the switched LAN
+
+  // ---- client side (benchmark workstation model) ----
+  // Client-side CPU consumed per request by one benchmark instance
+  // ("the number of client processes was selected to consume all
+  // available CPU" — the per-instance request rate is CPU-bounded).
+  MicroTime client_request_cpu = 21'000;
+  // Parsing a fetched document to select links costs extra.
+  MicroTime client_parse_cpu = 3'000;
+  // "four additional threads to load images in parallel".
+  int image_helpers = 4;
+};
+
+// Per-host overrides for heterogeneous and geographically distributed
+// deployments (paper §1: cooperating servers "may be located in
+// different networks, or even different continents").  Defaults model a
+// workstation identical to the calibration baseline on the local LAN.
+struct HostProfile {
+  // Speed multiplier: 2.0 = CPU costs halve (a machine twice as fast).
+  double cpu_scale = 1.0;
+  // NIC bandwidth override; 0 = use the calibration default.
+  uint64_t nic_bytes_per_sec = 0;
+  // One-way extra latency to reach this host (WAN distance), added on
+  // top of the LAN rtt for both clients and cooperating servers.
+  MicroTime extra_rtt = 0;
+};
+
+}  // namespace dcws::sim
+
+#endif  // DCWS_SIM_CALIBRATION_H_

@@ -1,0 +1,34 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dcws::sim {
+
+void EventQueue::ScheduleAt(MicroTime at, Callback callback) {
+  assert(at >= Now());
+  events_.push(Event{at, next_seq_++, std::move(callback)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop.  Event ordering is unaffected by the callback payload.
+  Event& event = const_cast<Event&>(events_.top());
+  MicroTime at = event.at;
+  Callback callback = std::move(event.callback);
+  events_.pop();
+  clock_.Set(at);
+  ++executed_;
+  callback();
+  return true;
+}
+
+void EventQueue::RunUntil(MicroTime until) {
+  while (!events_.empty() && events_.top().at <= until) {
+    RunNext();
+  }
+  if (clock_.Now() < until) clock_.Set(until);
+}
+
+}  // namespace dcws::sim

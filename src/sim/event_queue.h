@@ -1,0 +1,63 @@
+#ifndef DCWS_SIM_EVENT_QUEUE_H_
+#define DCWS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/clock.h"
+
+namespace dcws::sim {
+
+// Discrete-event scheduler over virtual time.  Single-threaded: events
+// run strictly in (time, insertion-order) order, which together with the
+// seeded Rng makes every simulation bit-for-bit reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit EventQueue(MicroTime start = 0) : clock_(start) {}
+
+  MicroTime Now() const { return clock_.Now(); }
+  const Clock* clock() const { return &clock_; }
+
+  // Schedules `callback` at absolute time `at` (>= Now()).
+  void ScheduleAt(MicroTime at, Callback callback);
+  // Schedules after a delay.
+  void ScheduleAfter(MicroTime delay, Callback callback) {
+    ScheduleAt(Now() + delay, std::move(callback));
+  }
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool RunNext();
+
+  // Runs events until virtual time would pass `until` (events at exactly
+  // `until` are executed); leaves the clock at `until`.
+  void RunUntil(MicroTime until);
+
+  size_t pending() const { return events_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    MicroTime at;
+    uint64_t seq;  // FIFO among equal timestamps
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  ManualClock clock_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace dcws::sim
+
+#endif  // DCWS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,6 @@
+dcws_module(sim
+  event_queue.cc
+  sim_cluster.cc
+  sim_client.cc
+  experiment.cc
+)

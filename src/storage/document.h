@@ -1,0 +1,28 @@
+#ifndef DCWS_STORAGE_DOCUMENT_H_
+#define DCWS_STORAGE_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dcws::storage {
+
+// One stored web object: an HTML page or a binary asset (image etc.).
+// `path` is the site-absolute name ("/guide/items.html") — the same name
+// used as the LDG tuple key.
+struct Document {
+  std::string path;
+  std::string content;
+  std::string content_type;
+
+  uint64_t size() const { return content.size(); }
+  bool is_html() const { return content_type == "text/html"; }
+};
+
+// Maps a file extension to a MIME type ("text/html", "image/gif", ...).
+// Unknown extensions map to application/octet-stream.
+std::string GuessContentType(std::string_view path);
+
+}  // namespace dcws::storage
+
+#endif  // DCWS_STORAGE_DOCUMENT_H_

@@ -1,0 +1,58 @@
+#ifndef DCWS_STORAGE_DOCUMENT_STORE_H_
+#define DCWS_STORAGE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/document.h"
+#include "src/util/result.h"
+
+namespace dcws::storage {
+
+// In-memory virtual disk for one server.  Home servers are seeded with
+// their site's documents; co-op servers start empty and fill lazily as
+// migrated documents are physically fetched (§4.2).
+//
+// Thread-safe: server worker threads read concurrently while the
+// migration/regeneration paths write.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  // Inserts or replaces the document at `doc.path`.
+  void Put(Document doc);
+
+  // Copy-out read.  (Copies keep lock scopes tiny; document bodies in the
+  // modelled datasets average a few KB.)
+  Result<Document> Get(std::string_view path) const;
+
+  bool Contains(std::string_view path) const;
+  Status Remove(std::string_view path);
+
+  // Sorted list of stored paths.
+  std::vector<std::string> ListPaths() const;
+
+  size_t Count() const;
+  uint64_t TotalBytes() const;
+
+  // Invokes `fn` on every document under the lock (read-only).
+  void ForEach(
+      const std::function<void(const Document&)>& fn) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Document> documents_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dcws::storage
+
+#endif  // DCWS_STORAGE_DOCUMENT_STORE_H_

@@ -1,0 +1,81 @@
+#include "src/storage/fs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dcws::storage {
+
+namespace fs = std::filesystem;
+
+Result<std::vector<Document>> LoadDirectory(const std::string& root) {
+  std::error_code ec;
+  fs::path base(root);
+  if (!fs::is_directory(base, ec)) {
+    return Status::NotFound("not a directory: " + root);
+  }
+
+  std::vector<Document> documents;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file(ec)) continue;
+    fs::path relative = fs::relative(it->path(), base, ec);
+    if (ec) {
+      return Status::Internal("relative path failed for " +
+                              it->path().string());
+    }
+    std::ifstream in(it->path(), std::ios::binary);
+    if (!in) {
+      return Status::Internal("cannot read " + it->path().string());
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+
+    Document doc;
+    doc.path = "/" + relative.generic_string();
+    doc.content = std::move(content).str();
+    doc.content_type = GuessContentType(doc.path);
+    documents.push_back(std::move(doc));
+  }
+  if (ec) {
+    return Status::Internal("directory walk failed: " + ec.message());
+  }
+  // Deterministic order regardless of directory enumeration order.
+  std::sort(documents.begin(), documents.end(),
+            [](const Document& a, const Document& b) {
+              return a.path < b.path;
+            });
+  return documents;
+}
+
+Status SaveDirectory(const std::string& root,
+                     const std::vector<Document>& documents) {
+  fs::path base(root);
+  std::error_code ec;
+  fs::create_directories(base, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + root + ": " +
+                            ec.message());
+  }
+  for (const Document& doc : documents) {
+    // Document paths are site-absolute; strip the leading '/'.
+    std::string relative =
+        doc.path.empty() || doc.path[0] != '/' ? doc.path
+                                               : doc.path.substr(1);
+    fs::path target = base / fs::path(relative);
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create parent for " + doc.path);
+    }
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write " + target.string());
+    }
+    out.write(doc.content.data(),
+              static_cast<std::streamsize>(doc.content.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dcws::storage

@@ -1,0 +1,26 @@
+#ifndef DCWS_STORAGE_FS_H_
+#define DCWS_STORAGE_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/document.h"
+#include "src/util/result.h"
+
+namespace dcws::storage {
+
+// Loads a site from a directory tree on disk: every regular file below
+// `root` becomes a document whose path is its site-absolute location
+// ("/" + path relative to root), with the content type guessed from the
+// extension.  This is how a real deployment seeds a home server from
+// its document root.
+Result<std::vector<Document>> LoadDirectory(const std::string& root);
+
+// Writes documents under `root`, creating directories as needed (the
+// inverse of LoadDirectory; used by tooling and tests).
+Status SaveDirectory(const std::string& root,
+                     const std::vector<Document>& documents);
+
+}  // namespace dcws::storage
+
+#endif  // DCWS_STORAGE_FS_H_

@@ -1,0 +1,4 @@
+dcws_module(storage
+  document_store.cc
+  fs.cc
+)

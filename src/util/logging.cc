@@ -1,0 +1,64 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dcws {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes writes so interleaved thread output stays line-atomic.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  // Strip directories for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line,
+               message.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace dcws

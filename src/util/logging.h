@@ -1,0 +1,51 @@
+#ifndef DCWS_UTIL_LOGGING_H_
+#define DCWS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcws {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded cheaply.
+// Defaults to kWarning so library users see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+bool LogEnabled(LogLevel level);
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+// Stream-style collector used by the DCWS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dcws
+
+#define DCWS_LOG(level)                                                   \
+  if (!::dcws::internal_logging::LogEnabled(::dcws::LogLevel::level)) {   \
+  } else                                                                  \
+    ::dcws::internal_logging::LogMessage(::dcws::LogLevel::level,         \
+                                         __FILE__, __LINE__)              \
+        .stream()
+
+#endif  // DCWS_UTIL_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef DCWS_UTIL_RESULT_H_
+#define DCWS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace dcws {
+
+// Result<T> holds either a value of type T or a non-OK Status.  It is the
+// return type of every fallible operation that produces a value.
+//
+//   Result<Url> url = Url::Parse(text);
+//   if (!url.ok()) return url.status();
+//   Use(url.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both value and error make call sites read
+  // naturally: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace dcws
+
+// Evaluates `expr` (a Result<T>); on error, returns the status from the
+// enclosing function; otherwise moves the value into `lhs`.
+#define DCWS_ASSIGN_OR_RETURN(lhs, expr)                       \
+  DCWS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      DCWS_RESULT_CONCAT_(_dcws_result, __LINE__), lhs, expr)
+
+#define DCWS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define DCWS_RESULT_CONCAT_(a, b) DCWS_RESULT_CONCAT_IMPL_(a, b)
+#define DCWS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DCWS_UTIL_RESULT_H_

@@ -1,0 +1,6 @@
+dcws_module(util
+  status.cc
+  rng.cc
+  string_util.cc
+  logging.cc
+)

@@ -1,0 +1,111 @@
+#ifndef DCWS_UTIL_STATUS_H_
+#define DCWS_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dcws {
+
+// Error categories used across the DCWS library.  The set mirrors what the
+// subsystems can actually report: parse failures from the HTTP/HTML codecs,
+// lookup misses from the document graph and stores, protocol-level outcomes
+// (redirects and drops are modelled as statuses at the transport boundary),
+// and invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,      // server overloaded / dropped (HTTP 503 analogue)
+  kMoved,            // document migrated (HTTP 301 analogue)
+  kCorruption,       // malformed wire or document data
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable lowercase name for `code`, e.g. "not_found".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status.  OK statuses carry no message and are cheap to copy.
+// The library never throws; every fallible operation returns a Status or a
+// Result<T> (see result.h).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Moved(std::string new_location) {
+    return Status(StatusCode::kMoved, std::move(new_location));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsMoved() const { return code_ == StatusCode::kMoved; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace dcws
+
+// Propagates a non-OK status out of the enclosing function.
+#define DCWS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dcws::Status _dcws_status = (expr);         \
+    if (!_dcws_status.ok()) return _dcws_status;  \
+  } while (false)
+
+#endif  // DCWS_UTIL_STATUS_H_

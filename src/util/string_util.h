@@ -1,0 +1,48 @@
+#ifndef DCWS_UTIL_STRING_UTIL_H_
+#define DCWS_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcws {
+
+// Splits `text` at every occurrence of `sep`; adjacent separators yield
+// empty pieces.  Splitting "" yields one empty piece.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+// Like Split but drops empty pieces.
+std::vector<std::string_view> SplitSkipEmpty(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// ASCII case-insensitive equality (HTTP header names, HTML tag names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parses a non-negative decimal integer; rejects empty strings, signs,
+// non-digits and overflow.
+std::optional<uint64_t> ParseUint64(std::string_view text);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+// Formats a byte count as a human-readable string, e.g. "1.4 MB".
+std::string HumanBytes(double bytes);
+
+}  // namespace dcws
+
+#endif  // DCWS_UTIL_STRING_UTIL_H_

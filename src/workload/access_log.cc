@@ -1,0 +1,115 @@
+#include "src/workload/access_log.h"
+
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace dcws::workload {
+
+std::string FormatClfLine(const AccessLogEntry& entry) {
+  std::ostringstream line;
+  line << entry.client << " - - ["
+       << (entry.timestamp.empty() ? "01/Jan/1999:00:00:00 -0700"
+                                   : entry.timestamp)
+       << "] \"" << entry.method << " " << entry.path << " HTTP/1.0\" "
+       << entry.status << " ";
+  if (entry.bytes == 0) {
+    line << "-";
+  } else {
+    line << entry.bytes;
+  }
+  return std::move(line).str();
+}
+
+Result<AccessLogEntry> ParseClfLine(std::string_view line) {
+  AccessLogEntry entry;
+
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos || space == 0) {
+    return Status::Corruption("missing client field");
+  }
+  entry.client = std::string(line.substr(0, space));
+
+  size_t ts_open = line.find('[');
+  size_t ts_close = line.find(']', ts_open == std::string_view::npos
+                                        ? 0
+                                        : ts_open);
+  if (ts_open != std::string_view::npos &&
+      ts_close != std::string_view::npos) {
+    entry.timestamp =
+        std::string(line.substr(ts_open + 1, ts_close - ts_open - 1));
+  }
+
+  size_t quote_open = line.find('"');
+  if (quote_open == std::string_view::npos) {
+    return Status::Corruption("missing request field");
+  }
+  size_t quote_close = line.find('"', quote_open + 1);
+  if (quote_close == std::string_view::npos) {
+    return Status::Corruption("unterminated request field");
+  }
+  std::string_view request =
+      line.substr(quote_open + 1, quote_close - quote_open - 1);
+  auto parts = SplitSkipEmpty(request, ' ');
+  if (parts.size() < 2) {
+    return Status::Corruption("malformed request line: " +
+                              std::string(request));
+  }
+  entry.method = std::string(parts[0]);
+  entry.path = std::string(parts[1]);
+
+  auto tail = SplitSkipEmpty(line.substr(quote_close + 1), ' ');
+  if (!tail.empty()) {
+    auto status = ParseUint64(tail[0]);
+    if (!status.has_value() || *status < 100 || *status > 599) {
+      return Status::Corruption("bad status: " + std::string(tail[0]));
+    }
+    entry.status = static_cast<int>(*status);
+  }
+  if (tail.size() >= 2 && tail[1] != "-") {
+    entry.bytes = ParseUint64(tail[1]).value_or(0);
+  }
+  return entry;
+}
+
+ParsedLog ParseClfLog(std::string_view text) {
+  ParsedLog parsed;
+  for (std::string_view line : Split(text, '\n')) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    auto entry = ParseClfLine(line);
+    if (entry.ok()) {
+      parsed.entries.push_back(std::move(entry).value());
+    } else {
+      parsed.skipped += 1;
+    }
+  }
+  return parsed;
+}
+
+std::vector<AccessLogEntry> SynthesizeLog(const SiteSpec& site,
+                                          size_t count, double skew,
+                                          Rng& rng) {
+  std::vector<AccessLogEntry> entries;
+  if (site.documents.empty()) return entries;
+  Rng::ZipfSampler popularity(site.documents.size(), skew);
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& doc = site.documents[popularity.Sample(rng)];
+    AccessLogEntry entry;
+    entry.client = "10." + std::to_string(rng.NextBelow(16)) + "." +
+                   std::to_string(rng.NextBelow(256)) + "." +
+                   std::to_string(rng.NextBelow(256));
+    entry.path = doc.path;
+    entry.status = 200;
+    entry.bytes = doc.size();
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "05/Jul/1998:%02zu:%02zu:%02zu -0700",
+                  (10 + i / 3600) % 24, (i / 60) % 60, i % 60);
+    entry.timestamp = ts;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace dcws::workload

@@ -1,0 +1,51 @@
+#ifndef DCWS_WORKLOAD_ACCESS_LOG_H_
+#define DCWS_WORKLOAD_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/workload/site.h"
+
+namespace dcws::workload {
+
+// Common Log Format support (the paper's future work notes "we have not
+// used actual access logs for the experiments"; this module lets the
+// repo's tools and benches replay them).
+//
+//   host ident authuser [date] "METHOD path HTTP/x.y" status bytes
+
+struct AccessLogEntry {
+  std::string client;  // remote host
+  std::string method = "GET";
+  std::string path;
+  int status = 200;
+  uint64_t bytes = 0;
+  std::string timestamp;  // as written in the log (opaque)
+};
+
+// Formats one CLF line.
+std::string FormatClfLine(const AccessLogEntry& entry);
+
+// Parses one CLF line (tolerant of the fields DCWS does not need).
+Result<AccessLogEntry> ParseClfLine(std::string_view line);
+
+// Parses a whole log; malformed lines are skipped and counted.
+struct ParsedLog {
+  std::vector<AccessLogEntry> entries;
+  size_t skipped = 0;
+};
+ParsedLog ParseClfLog(std::string_view text);
+
+// Synthesizes `count` CLF lines over `site`'s documents with
+// Zipf(`skew`)-distributed popularity — the shape real web logs exhibit
+// (Arlitt & Williamson, the paper's [5]).
+std::vector<AccessLogEntry> SynthesizeLog(const SiteSpec& site,
+                                          size_t count, double skew,
+                                          Rng& rng);
+
+}  // namespace dcws::workload
+
+#endif  // DCWS_WORKLOAD_ACCESS_LOG_H_

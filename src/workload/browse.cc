@@ -1,0 +1,195 @@
+#include "src/workload/browse.h"
+
+#include "src/html/links.h"
+#include <unordered_set>
+#include "src/migrate/naming.h"
+#include "src/storage/document.h"
+
+namespace dcws::workload {
+
+namespace {
+
+// Binds a link occurrence to an absolute URL relative to the page that
+// contained it.
+std::optional<http::Url> BindUrl(const html::LinkOccurrence& link,
+                                 const http::Url& page_url) {
+  if (link.external) {
+    auto url = http::Url::Parse(link.resolved);
+    if (!url.ok()) return std::nullopt;
+    return std::move(url).value();
+  }
+  http::Url url = page_url;
+  url.path = link.resolved;
+  return url;
+}
+
+}  // namespace
+
+std::vector<http::Url> FollowableLinks(const std::string& html,
+                                       const http::Url& page_url) {
+  std::vector<http::Url> out;
+  for (const html::LinkOccurrence& link :
+       html::ExtractLinks(html, page_url.path)) {
+    if (link.kind != html::LinkKind::kHyperlink) continue;
+    if (auto url = BindUrl(link, page_url)) out.push_back(*url);
+  }
+  return out;
+}
+
+std::vector<http::Url> EmbeddedImages(const std::string& html,
+                                      const http::Url& page_url) {
+  std::vector<http::Url> out;
+  for (const html::LinkOccurrence& link :
+       html::ExtractLinks(html, page_url.path)) {
+    if (link.kind != html::LinkKind::kEmbedded) continue;
+    if (auto url = BindUrl(link, page_url)) out.push_back(*url);
+  }
+  return out;
+}
+
+PageLinks ClassifyLinks(const std::string& html,
+                        const http::Url& page_url) {
+  PageLinks out;
+  // Browsers coalesce repeated references: a bar-chart page rendering
+  // one JPEG 128 times still fetches it once.
+  std::unordered_set<std::string> seen_images;
+  for (const html::LinkOccurrence& link :
+       html::ExtractLinks(html, page_url.path)) {
+    auto url = BindUrl(link, page_url);
+    if (!url.has_value()) continue;
+    if (link.kind == html::LinkKind::kHyperlink) {
+      out.hyperlinks.push_back(std::move(*url));
+    } else if (seen_images.insert(url->ToString()).second) {
+      out.images.push_back(std::move(*url));
+    }
+  }
+  return out;
+}
+
+std::optional<http::Url> PickRandom(const std::vector<http::Url>& urls,
+                                    Rng& rng) {
+  if (urls.empty()) return std::nullopt;
+  return urls[rng.NextBelow(urls.size())];
+}
+
+BrowsingClient::BrowsingClient(std::vector<http::Url> entry_points,
+                               uint64_t seed, BrowseConfig config)
+    : entry_points_(std::move(entry_points)),
+      rng_(seed),
+      config_(std::move(config)) {}
+
+Result<std::string> BrowsingClient::FetchDocument(Fetcher& fetcher,
+                                                  const http::Url& url,
+                                                  http::Url* final_url) {
+  http::Url current = url;
+  int redirects_left = config_.max_redirect_hops;
+  int retries_left = config_.max_drop_retries;
+  MicroTime backoff = kMicrosPerSecond;  // 1 s, 2 s, 4 s, ...
+
+  while (true) {
+    auto cached = cache_.find(current.ToString());
+    if (cached != cache_.end()) {
+      stats_.cache_hits += 1;
+      if (final_url != nullptr) *final_url = current;
+      return cached->second;
+    }
+
+    stats_.requests += 1;
+    auto response = fetcher.Fetch(current);
+    if (!response.ok()) {
+      stats_.failures += 1;
+      return response.status();
+    }
+
+    if (response->status_code == 503) {
+      // Exponential back-off and retry (paper §5.2 request drops).
+      stats_.drops += 1;
+      if (retries_left-- <= 0) {
+        stats_.failures += 1;
+        return Status::Unavailable("gave up after repeated 503s");
+      }
+      stats_.backoff_sleeps += 1;
+      if (config_.sleeper) config_.sleeper(backoff);
+      backoff *= 2;
+      continue;
+    }
+
+    if (response->IsRedirect()) {
+      stats_.redirects += 1;
+      if (redirects_left-- <= 0) {
+        stats_.failures += 1;
+        return Status::Internal("redirect loop at " + current.ToString());
+      }
+      auto location = response->headers.Get(http::kHeaderLocation);
+      if (!location.has_value()) {
+        stats_.failures += 1;
+        return Status::Corruption("301 without Location");
+      }
+      auto next = http::Url::Parse(std::string(*location));
+      if (!next.ok()) {
+        stats_.failures += 1;
+        return next.status();
+      }
+      current = std::move(next).value();
+      continue;
+    }
+
+    if (response->status_code != 200) {
+      stats_.failures += 1;
+      return Status::NotFound("status " +
+                              std::to_string(response->status_code) +
+                              " for " + current.ToString());
+    }
+
+    stats_.bytes += response->body.size();
+    cache_[current.ToString()] = response->body;
+    if (!(current == url)) {
+      // Key under the originally-requested URL as well (browser cache
+      // semantics), so rotating 301s do not defeat caching.
+      cache_[url.ToString()] = response->body;
+    }
+    if (final_url != nullptr) *final_url = current;
+    return std::move(response->body);
+  }
+}
+
+bool BrowsingClient::RunWalk(Fetcher& fetcher) {
+  if (entry_points_.empty()) return false;
+  cache_.clear();  // "reset cache" — per-sequence client cache
+  stats_.walks += 1;
+
+  http::Url current =
+      entry_points_[rng_.NextBelow(entry_points_.size())];
+  int steps = static_cast<int>(
+      rng_.NextInRange(config_.min_steps, config_.max_steps));
+
+  for (int step = 0; step < steps; ++step) {
+    http::Url served_at = current;
+    auto body = FetchDocument(fetcher, current, &served_at);
+    if (!body.ok()) return step > 0;
+    stats_.steps += 1;
+
+    // Only HTML gets parsed for images and onward links; a walk that
+    // lands on an image (e.g. a raster archive) dead-ends.
+    std::string doc_path = served_at.path;
+    if (migrate::IsMigratedTarget(doc_path)) {
+      auto decoded = migrate::DecodeMigratedTarget(doc_path);
+      if (decoded.ok()) doc_path = decoded->doc_path;
+    }
+    if (storage::GuessContentType(doc_path) != "text/html") break;
+
+    // "request all embedded images in parallel" — sequential here; the
+    // simulator models the helper-thread parallelism.
+    for (const http::Url& image : EmbeddedImages(*body, served_at)) {
+      (void)FetchDocument(fetcher, image, nullptr);
+    }
+
+    // "parse the document and select a new link".
+    auto next = PickRandom(FollowableLinks(*body, served_at), rng_);
+    if (!next.has_value()) break;  // dead end (e.g. image archive leaf)
+    current = *next;
+  }
+  return true;
+}
+
+}  // namespace dcws::workload

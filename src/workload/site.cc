@@ -1,0 +1,143 @@
+#include "src/workload/site.h"
+
+#include "src/html/links.h"
+#include "src/storage/document_store.h"
+
+namespace dcws::workload {
+
+SiteSpec::Stats SiteSpec::ComputeStats() const {
+  Stats stats;
+  stats.documents = documents.size();
+  for (const storage::Document& doc : documents) {
+    stats.total_bytes += doc.size();
+    if (doc.is_html()) {
+      ++stats.html_documents;
+      stats.links += html::ExtractLinks(doc.content, doc.path).size();
+    } else {
+      ++stats.images;
+    }
+  }
+  if (stats.documents > 0) {
+    stats.avg_doc_bytes = static_cast<double>(stats.total_bytes) /
+                          static_cast<double>(stats.documents);
+  }
+  return stats;
+}
+
+SiteSpec BuildDataset(Dataset dataset, Rng& rng) {
+  switch (dataset) {
+    case Dataset::kMapug:
+      return BuildMapug(rng);
+    case Dataset::kSblog:
+      return BuildSblog(rng);
+    case Dataset::kLod:
+      return BuildLod(rng);
+    case Dataset::kSequoia:
+      return BuildSequoia(rng);
+  }
+  return BuildLod(rng);
+}
+
+std::string_view DatasetName(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kMapug:
+      return "MAPUG";
+    case Dataset::kSblog:
+      return "SBLog";
+    case Dataset::kLod:
+      return "LOD";
+    case Dataset::kSequoia:
+      return "Sequoia";
+  }
+  return "?";
+}
+
+std::string FillerText(Rng& rng, uint64_t bytes) {
+  static constexpr std::string_view kWords[] = {
+      "archive", "server",  "request", "document", "thread",  "message",
+      "network", "cluster", "balance", "migrate",  "digital", "library",
+      "storage", "extent",  "raster",  "detail",   "report",  "summary"};
+  std::string out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    out.append(kWords[rng.NextBelow(std::size(kWords))]);
+    out.push_back(rng.NextBelow(12) == 0 ? '\n' : ' ');
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::string BinaryBlob(Rng& rng, uint64_t bytes) {
+  std::string out;
+  out.resize(bytes);
+  // Fill in 8-byte strides; the tail keeps whatever pattern remains.
+  size_t full = bytes / 8;
+  for (size_t i = 0; i < full; ++i) {
+    uint64_t v = rng.NextUint64();
+    for (int b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<char>((v >> (b * 8)) & 0xFF);
+    }
+  }
+  for (size_t i = full * 8; i < bytes; ++i) {
+    out[i] = static_cast<char>(i * 131);
+  }
+  return out;
+}
+
+SiteSpec BuildSynthetic(const SyntheticConfig& config, Rng& seed_rng) {
+  Rng rng(seed_rng.NextUint64() ^ config.seed_salt);
+  SiteSpec site;
+  site.name = "synthetic";
+
+  auto page_path = [](size_t i) {
+    return "/site/page" + std::to_string(i) + ".html";
+  };
+  auto image_path = [](size_t i) {
+    return "/site/img/i" + std::to_string(i) + ".gif";
+  };
+
+  for (size_t i = 0; i < config.images; ++i) {
+    storage::Document doc;
+    doc.path = image_path(i);
+    doc.content = BinaryBlob(rng, config.image_bytes);
+    doc.content_type = "image/gif";
+    site.documents.push_back(std::move(doc));
+  }
+
+  // Zipf-skewed (or uniform) choice of hyperlink targets.
+  Rng::ZipfSampler popularity(std::max<size_t>(config.pages, 1),
+                              config.popularity_skew);
+  for (size_t i = 0; i < config.pages; ++i) {
+    std::string body = "<html><head><title>page " + std::to_string(i) +
+                       "</title></head><body>\n";
+    for (size_t l = 0; l < config.links_per_page; ++l) {
+      size_t target = popularity.Sample(rng);
+      body += "<a href=\"page" + std::to_string(target) +
+              ".html\">link" + std::to_string(l) + "</a>\n";
+    }
+    if (config.images > 0) {
+      for (size_t m = 0; m < config.images_per_page; ++m) {
+        size_t target = rng.NextBelow(config.images);
+        body += "<img src=\"img/i" + std::to_string(target) + ".gif\">\n";
+      }
+    }
+    uint64_t markup = body.size() + 16;
+    if (config.page_bytes > markup) {
+      body += "<p>" + FillerText(rng, config.page_bytes - markup) + "</p>";
+    }
+    body += "\n</body></html>\n";
+
+    storage::Document doc;
+    doc.path = page_path(i);
+    doc.content = std::move(body);
+    doc.content_type = "text/html";
+    site.documents.push_back(std::move(doc));
+  }
+
+  for (size_t e = 0; e < config.entry_points && e < config.pages; ++e) {
+    site.entry_points.push_back(page_path(e));
+  }
+  return site;
+}
+
+}  // namespace dcws::workload

@@ -1,0 +1,86 @@
+#ifndef DCWS_WORKLOAD_SITE_H_
+#define DCWS_WORKLOAD_SITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/document.h"
+#include "src/util/rng.h"
+
+namespace dcws::workload {
+
+// A complete web site: document contents plus the well-known entry
+// points.  Generators below reproduce the structure and statistics of
+// the paper's four datasets (§5.2 "Data sets"), which are no longer
+// downloadable; see DESIGN.md for the substitution rationale.
+struct SiteSpec {
+  std::string name;
+  std::vector<storage::Document> documents;
+  std::vector<std::string> entry_points;
+
+  struct Stats {
+    size_t documents = 0;
+    size_t html_documents = 0;
+    size_t images = 0;
+    size_t links = 0;          // total link occurrences in HTML sources
+    uint64_t total_bytes = 0;
+    double avg_doc_bytes = 0;
+  };
+  // Computed by parsing every document (slow; tests and reports only).
+  Stats ComputeStats() const;
+};
+
+// --- The paper's datasets -------------------------------------------
+
+// MAPUG mailing list archive: 1,534 documents, ~29k links, ~5.9 MB.
+// Messages carry 4-6 bitmapped nav-button images which "have a high
+// request rate and are among the first pages migrated".
+SiteSpec BuildMapug(Rng& rng);
+
+// SBLog web statistics: 402 documents, ~57.5k links, ~8.5 MB, all text
+// except ONE extremely popular bar-graph JPEG.
+SiteSpec BuildSblog(Rng& rng);
+
+// LOD role-playing adventure guide: 349 documents (240 images), ~1.4k
+// links, ~750 KB; image sizes bimodal around 1.5 KB and 3.5 KB; about
+// six table pages with ~50 thumbnails each.  No hot spots — the
+// linear-scalability dataset.
+SiteSpec BuildLod(Rng& rng);
+
+// Sequoia 2000 storage benchmark rasters: 130 satellite images of
+// 1-2.8 MB behind one hyperlinked front page.
+SiteSpec BuildSequoia(Rng& rng);
+
+enum class Dataset { kMapug, kSblog, kLod, kSequoia };
+SiteSpec BuildDataset(Dataset dataset, Rng& rng);
+std::string_view DatasetName(Dataset dataset);
+
+// --- Parameterised synthetic sites ----------------------------------
+
+// Knobs for sites beyond the paper's four (ablations, property tests).
+struct SyntheticConfig {
+  size_t pages = 100;           // HTML documents
+  size_t images = 50;           // image documents
+  size_t links_per_page = 8;    // outgoing hyperlinks per page
+  size_t images_per_page = 2;   // embedded images per page
+  uint64_t page_bytes = 4096;
+  uint64_t image_bytes = 2048;
+  size_t entry_points = 1;
+  // Zipf exponent for choosing link targets: 0 = uniform topology,
+  // larger values concentrate links on a few hot documents.
+  double popularity_skew = 0.0;
+  uint64_t seed_salt = 0;  // varies content between instances
+};
+SiteSpec BuildSynthetic(const SyntheticConfig& config, Rng& rng);
+
+// --- Content helpers (exposed for tests) -----------------------------
+
+// Deterministic filler prose of roughly `bytes` bytes.
+std::string FillerText(Rng& rng, uint64_t bytes);
+// Deterministic pseudo-binary blob of exactly `bytes` bytes.
+std::string BinaryBlob(Rng& rng, uint64_t bytes);
+
+}  // namespace dcws::workload
+
+#endif  // DCWS_WORKLOAD_SITE_H_

@@ -1,0 +1,6 @@
+dcws_module(workload
+  site.cc
+  datasets.cc
+  browse.cc
+  access_log.cc
+)

@@ -1,0 +1,190 @@
+// Tests for the threaded in-process transport: real worker pools and
+// duty threads against the same Server objects the simulator drives.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/net/inproc.h"
+#include "src/workload/site.h"
+
+namespace dcws::net {
+namespace {
+
+core::ServerParams FastParams() {
+  core::ServerParams params;
+  params.stats_interval = Millis(100);
+  params.load_window = Millis(100);
+  params.pinger_interval = Millis(200);
+  params.validation_interval = Millis(800);
+  params.selection.hit_threshold = 1;
+  params.min_load_cps = 5;
+  params.worker_threads = 4;  // keep thread counts test-friendly
+  return params;
+}
+
+storage::Document Doc(std::string path, std::string content) {
+  storage::Document doc;
+  doc.path = std::move(path);
+  doc.content = std::move(content);
+  doc.content_type = storage::GuessContentType(doc.path);
+  return doc;
+}
+
+class InprocTest : public ::testing::Test {
+ protected:
+  InprocTest()
+      : home_({"alpha", 9001}, FastParams(), &clock_),
+        coop_({"beta", 9002}, FastParams(), &clock_) {
+    home_.RegisterPeer(coop_.address());
+    coop_.RegisterPeer(home_.address());
+    EXPECT_TRUE(home_
+                    .LoadSite({Doc("/index.html",
+                                   "<a href=\"a.html\">a</a>"
+                                   "<a href=\"b.html\">b</a>"),
+                               Doc("/a.html", "<img src=\"i.gif\">"),
+                               Doc("/b.html", "<p>b</p>"),
+                               Doc("/i.gif", std::string(800, 'I'))},
+                              {"/index.html"})
+                    .ok());
+    network_.AddServer(&home_);
+    network_.AddServer(&coop_);
+  }
+
+  ~InprocTest() override { network_.StopAll(); }
+
+  WallClock clock_;
+  core::Server home_;
+  core::Server coop_;
+  InprocNetwork network_;
+};
+
+TEST_F(InprocTest, ServesThroughWorkerThreads) {
+  http::Request request;
+  request.target = "/b.html";
+  auto response = network_.Execute(home_.address(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "<p>b</p>");
+  EXPECT_GE(network_.Find(home_.address())->accepted(), 1u);
+}
+
+TEST_F(InprocTest, ConcurrentClientsAllSucceed) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> ok{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        http::Request request;
+        request.target = (i % 2 == 0) ? "/a.html" : "/index.html";
+        auto response = network_.Execute(home_.address(), request);
+        if (response.ok() && response->status_code == 200) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(failed.load(), 0);
+}
+
+TEST_F(InprocTest, MigrationHappensUnderRealThreads) {
+  // Hammer from several threads, then give the duty thread a moment.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 300; ++i) {
+        http::Request request;
+        request.target = "/a.html";
+        (void)network_.Execute(home_.address(), request);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  EXPECT_GE(home_.counters().migrations, 1u)
+      << "duty thread should have migrated under load";
+
+  // The migrated document is reachable at the co-op (fetch-on-miss
+  // crosses back to home through worker threads without deadlock).
+  for (const auto& record : home_.ldg().Snapshot()) {
+    if (record.location == home_.address()) continue;
+    http::Request request;
+    request.target =
+        migrate::EncodeMigratedTarget(home_.address(), record.name);
+    auto response = network_.Execute(coop_.address(), request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status_code, 200);
+  }
+}
+
+TEST_F(InprocTest, DownServerIsUnavailable) {
+  network_.SetDown(coop_.address(), true);
+  http::Request request;
+  request.target = "/anything";
+  auto response = network_.Execute(coop_.address(), request);
+  EXPECT_TRUE(response.status().IsUnavailable());
+  network_.SetDown(coop_.address(), false);
+  EXPECT_TRUE(network_.Execute(coop_.address(), request).ok());
+}
+
+TEST_F(InprocTest, StopAllIsIdempotentAndFinal) {
+  network_.StopAll();
+  network_.StopAll();
+  http::Request request;
+  request.target = "/b.html";
+  auto response = network_.Execute(home_.address(), request);
+  EXPECT_FALSE(response.ok());
+}
+
+TEST_F(InprocTest, FetcherDrivesBrowsingClient) {
+  InprocFetcher fetcher(&network_);
+  workload::BrowsingClient client(
+      {http::Url{"alpha", 9001, "/index.html"}}, 5);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(client.RunWalk(fetcher));
+  }
+  EXPECT_EQ(client.stats().failures, 0u);
+  EXPECT_GT(client.stats().requests, 30u);
+}
+
+TEST(InprocBacklogTest, OverflowDrops503) {
+  // One slow-ish host with a tiny queue, slammed concurrently.
+  WallClock clock;
+  core::ServerParams params = FastParams();
+  params.worker_threads = 1;
+  params.socket_queue_length = 2;
+  core::Server server({"solo", 9100}, params, &clock);
+  ASSERT_TRUE(
+      server.LoadSite({Doc("/x.html", std::string(200'000, 'x'))}, {})
+          .ok());
+  InprocNetwork network;
+  network.AddServer(&server);
+
+  std::atomic<int> dropped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 20; ++i) {
+        http::Request request;
+        request.target = "/x.html";
+        auto response = network.Execute(server.address(), request);
+        if (response.ok() && response->status_code == 503) ++dropped;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(dropped.load(), 0) << "backlog cap should shed load";
+  EXPECT_GT(network.Find(server.address())->dropped(), 0u);
+  network.StopAll();
+}
+
+}  // namespace
+}  // namespace dcws::net

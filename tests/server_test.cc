@@ -1,0 +1,557 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/cluster.h"
+#include "src/core/server.h"
+#include "src/http/url.h"
+#include "src/migrate/naming.h"
+#include "src/util/clock.h"
+
+namespace dcws::core {
+namespace {
+
+using http::Request;
+using http::Response;
+using storage::Document;
+
+Request Get(const std::string& target) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  return req;
+}
+
+Document Doc(std::string path, std::string content) {
+  Document doc;
+  doc.path = std::move(path);
+  doc.content = std::move(content);
+  doc.content_type = storage::GuessContentType(doc.path);
+  return doc;
+}
+
+ServerParams TestParams() {
+  ServerParams params;
+  params.stats_interval = Seconds(10);
+  params.load_window = Seconds(10);
+  params.pinger_interval = Seconds(20);
+  params.validation_interval = Seconds(120);
+  params.remigrate_interval = Seconds(300);
+  params.coop_accept_interval = Seconds(60);
+  params.selection.hit_threshold = 1;
+  params.min_load_cps = 1.0;
+  return params;
+}
+
+// Three-server cluster; server 1 is seeded as the home of a small site.
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : clock_(Seconds(1)), cluster_(3, TestParams(), &clock_) {
+    std::vector<Document> site = {
+        Doc("/index.html",
+            "<a href=\"a.html\">a</a><a href=\"b.html\">b</a>"),
+        Doc("/a.html", "<img src=\"pic.gif\"><a href=\"b.html\">b</a>"),
+        Doc("/b.html", "<p>leaf b</p>"),
+        Doc("/pic.gif", std::string(500, 'G')),
+    };
+    EXPECT_TRUE(home().LoadSite(site, {"/index.html"}).ok());
+    // Anchor periodic-duty timers.
+    cluster_.TickAll();
+  }
+
+  Server& home() { return cluster_.server(0); }
+  Server& coop1() { return cluster_.server(1); }
+  Server& coop2() { return cluster_.server(2); }
+  LoopbackNetwork& net() { return cluster_.network(); }
+
+  // Generates demand at the home server.
+  void Hammer(const std::string& target, int count) {
+    for (int i = 0; i < count; ++i) {
+      home().HandleRequest(Get(target), &net());
+    }
+  }
+
+  // Advances time and runs periodic duties on every server.
+  void AdvanceAndTick(MicroTime dt) {
+    clock_.Advance(dt);
+    cluster_.TickAll();
+  }
+
+  // Drives the home server until it migrates one document; returns its
+  // name.
+  std::string ForceOneMigration() {
+    Hammer("/a.html", 50);
+    Hammer("/b.html", 30);
+    AdvanceAndTick(Seconds(10));
+    EXPECT_EQ(home().counters().migrations, 1u);
+    for (const auto& record : home().ldg().Snapshot()) {
+      if (!(record.location == home().address())) return record.name;
+    }
+    ADD_FAILURE() << "no migrated document found";
+    return "";
+  }
+
+  ManualClock clock_;
+  Cluster cluster_;
+};
+
+TEST_F(ServerTest, ServesLocalDocument) {
+  Response resp = home().HandleRequest(Get("/b.html"), &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_EQ(resp.body, "<p>leaf b</p>");
+  EXPECT_EQ(resp.headers.Get("Content-Type").value(), "text/html");
+  EXPECT_EQ(home().counters().served_local, 1u);
+}
+
+TEST_F(ServerTest, RootMapsToIndex) {
+  Response resp = home().HandleRequest(Get("/"), &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_NE(resp.body.find("a.html"), std::string::npos);
+}
+
+TEST_F(ServerTest, UnknownIs404) {
+  Response resp = home().HandleRequest(Get("/ghost.html"), &net());
+  EXPECT_EQ(resp.status_code, 404);
+  EXPECT_EQ(home().counters().not_found, 1u);
+}
+
+TEST_F(ServerTest, MigrationHappensUnderLoad) {
+  std::string doc = ForceOneMigration();
+  EXPECT_FALSE(doc.empty());
+  // Entry point must never migrate.
+  EXPECT_NE(doc, "/index.html");
+  auto record = home().ldg().Lookup(doc);
+  ASSERT_TRUE(record.ok());
+  EXPECT_FALSE(record->location == home().address());
+}
+
+TEST_F(ServerTest, NoMigrationWithoutLoad) {
+  AdvanceAndTick(Seconds(10));
+  AdvanceAndTick(Seconds(10));
+  EXPECT_EQ(home().counters().migrations, 0u);
+}
+
+TEST_F(ServerTest, MigratedDocumentRedirects) {
+  std::string doc = ForceOneMigration();
+  Response resp = home().HandleRequest(Get(doc), &net());
+  EXPECT_EQ(resp.status_code, 301);
+  auto location = resp.headers.Get("Location");
+  ASSERT_TRUE(location.has_value());
+  EXPECT_NE(location->find("/~migrate/" + home().address().host),
+            std::string::npos);
+  EXPECT_GE(home().counters().redirects, 1u);
+}
+
+TEST_F(ServerTest, LinkFromPagesRegenerateWithNewUrls) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  ASSERT_TRUE(record.ok());
+  ASSERT_FALSE(record->link_from.empty());
+  std::string parent = record->link_from[0];
+
+  uint64_t regens_before = home().counters().regenerations;
+  Response resp = home().HandleRequest(Get(parent), &net());
+  EXPECT_EQ(resp.status_code, 200);
+  std::string expected = migrate::EncodeMigratedUrl(
+      record->location, home().address(), doc);
+  EXPECT_NE(resp.body.find(expected), std::string::npos)
+      << "parent page should link to " << expected << "; got\n"
+      << resp.body;
+  EXPECT_EQ(home().counters().regenerations, regens_before + 1);
+
+  // Second request: already clean, no further reconstruction.
+  home().HandleRequest(Get(parent), &net());
+  EXPECT_EQ(home().counters().regenerations, regens_before + 1);
+}
+
+TEST_F(ServerTest, CoopFetchesOnFirstRequestThenServesLocally) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  ASSERT_NE(coop, nullptr);
+
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  Response first = coop->HandleRequest(Get(target), &net());
+  EXPECT_EQ(first.status_code, 200);
+  EXPECT_EQ(coop->counters().coop_fetches, 1u);
+  EXPECT_EQ(coop->counters().served_coop, 1u);
+
+  Response second = coop->HandleRequest(Get(target), &net());
+  EXPECT_EQ(second.status_code, 200);
+  EXPECT_EQ(coop->counters().coop_fetches, 1u);  // no refetch
+  EXPECT_EQ(second.body, first.body);
+}
+
+TEST_F(ServerTest, TransferredHtmlHasAbsoluteLinks) {
+  // Migrate /a.html specifically by hammering only it.
+  Hammer("/a.html", 80);
+  AdvanceAndTick(Seconds(10));
+  auto record = home().ldg().Lookup("/a.html");
+  ASSERT_TRUE(record.ok());
+  if (record->location == home().address()) {
+    GTEST_SKIP() << "selection picked a different document";
+  }
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), "/a.html");
+  Response resp = coop->HandleRequest(Get(target), &net());
+  ASSERT_EQ(resp.status_code, 200);
+  // Links inside the migrated copy must be absolute (resolve back to the
+  // cluster, not into the co-op's own namespace).
+  EXPECT_EQ(resp.body.find("src=\"pic.gif\""), std::string::npos);
+  EXPECT_NE(resp.body.find("http://"), std::string::npos);
+}
+
+TEST_F(ServerTest, PiggybackSpreadsLoadInfo) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  coop->HandleRequest(Get(target), &net());
+
+  // The fetch round-trip carried load info both ways.
+  auto home_seen_by_coop = coop->glt().Get(home().address());
+  ASSERT_TRUE(home_seen_by_coop.ok());
+  EXPECT_GE(home_seen_by_coop->updated_at, 0);
+  auto coop_seen_by_home = home().glt().Get(coop->address());
+  ASSERT_TRUE(coop_seen_by_home.ok());
+  EXPECT_GE(coop_seen_by_home->updated_at, 0);
+}
+
+TEST_F(ServerTest, ValidationRefetchesAfterInterval) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  coop->HandleRequest(Get(target), &net());
+  ASSERT_EQ(coop->counters().coop_fetches, 1u);
+
+  // Before T_val: sweep does nothing.
+  AdvanceAndTick(Seconds(40));
+  EXPECT_EQ(coop->counters().coop_fetches, 1u);
+  // After T_val (120 s): proactive revalidation fires.
+  AdvanceAndTick(Seconds(100));
+  EXPECT_EQ(coop->counters().coop_fetches, 2u);
+}
+
+TEST_F(ServerTest, PingerProbesSilentPeers) {
+  AdvanceAndTick(Seconds(21));
+  EXPECT_GT(home().counters().pings_sent, 0u);
+  // Probes carried piggybacked info: peers are now fresh.
+  auto entry = home().glt().Get(coop1().address());
+  ASSERT_TRUE(entry.ok());
+  EXPECT_GE(entry->updated_at, 0);
+}
+
+TEST_F(ServerTest, CrashedCoopDocumentsAreRecalled) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  http::ServerAddress coop_addr = record->location;
+
+  net().SetDown(coop_addr, true);
+  // Three failed pinger rounds (T_pi = 20 s) declare the peer down; the
+  // next statistics run recalls its documents.
+  for (int i = 0; i < 4; ++i) AdvanceAndTick(Seconds(21));
+
+  auto after = home().ldg().Lookup(doc);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->location == home().address())
+      << "document should be recalled from crashed co-op";
+  EXPECT_GE(home().counters().revocations, 1u);
+
+  // Home serves it again directly.
+  Response resp = home().HandleRequest(Get(doc), &net());
+  EXPECT_EQ(resp.status_code, 200);
+}
+
+TEST_F(ServerTest, RegeneratedPagePointsHomeAfterRevocation) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  ASSERT_FALSE(record->link_from.empty());
+  std::string parent = record->link_from[0];
+  // Regenerate the parent with the co-op URL in place.
+  home().HandleRequest(Get(parent), &net());
+
+  net().SetDown(record->location, true);
+  for (int i = 0; i < 4; ++i) AdvanceAndTick(Seconds(21));
+  ASSERT_TRUE(home().ldg().Lookup(doc)->location == home().address());
+
+  Response resp = home().HandleRequest(Get(parent), &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_EQ(resp.body.find("~migrate"), std::string::npos)
+      << "links must point home again: " << resp.body;
+}
+
+TEST_F(ServerTest, StaleMigrateTargetNamingSelfRedirectsHome) {
+  Response resp = home().HandleRequest(
+      Get(migrate::EncodeMigratedTarget(home().address(), "/b.html")),
+      &net());
+  EXPECT_EQ(resp.status_code, 301);
+  EXPECT_EQ(resp.headers.Get("Location").value(),
+            "http://" + home().address().ToString() + "/b.html");
+}
+
+TEST_F(ServerTest, RevokeRequestRemovesHosting) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  coop->HandleRequest(Get(target), &net());
+  ASSERT_TRUE(coop->coop_table().IsHosted(target));
+
+  Request revoke = Get("/~revoke/" + home().address().host + "/" +
+                       std::to_string(home().address().port) + doc);
+  revoke.headers.Set(std::string(http::kHeaderDcwsInternal), "revoke");
+  Response resp = coop->HandleRequest(revoke, &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_FALSE(coop->coop_table().IsHosted(target));
+}
+
+TEST_F(ServerTest, CoopServesStaleCopyWhenHomeDown) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  Response first = coop->HandleRequest(Get(target), &net());
+  ASSERT_EQ(first.status_code, 200);
+
+  // Home crashes; validation comes due; the co-op must keep serving its
+  // copy rather than failing (§4.5 best-effort).
+  net().SetDown(home().address(), true);
+  clock_.Advance(Seconds(130));
+  Response resp = coop->HandleRequest(Get(target), &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_EQ(resp.body, first.body);
+  EXPECT_GE(coop->counters().stale_serves, 1u);
+}
+
+TEST_F(ServerTest, NeverFetchedAndHomeDownIs503) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  net().SetDown(home().address(), true);
+  Response resp = coop->HandleRequest(
+      Get(migrate::EncodeMigratedTarget(home().address(), doc)), &net());
+  EXPECT_EQ(resp.status_code, 503);
+}
+
+TEST_F(ServerTest, PutDocumentUpdatesGraphAndDirtiness) {
+  // Author edits /b.html to add a link to /a.html.
+  ASSERT_TRUE(
+      home().PutDocument(Doc("/b.html", "<a href=\"a.html\">a</a>")).ok());
+  auto b = home().ldg().Lookup("/b.html");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->dirty);
+  ASSERT_EQ(b->link_to.size(), 1u);
+  EXPECT_EQ(b->link_to[0], "/a.html");
+
+  // New document shows up in the graph.
+  ASSERT_TRUE(
+      home().PutDocument(Doc("/new.html", "<a href=\"b.html\">b</a>")).ok());
+  EXPECT_TRUE(home().ldg().Contains("/new.html"));
+  Response resp = home().HandleRequest(Get("/new.html"), &net());
+  EXPECT_EQ(resp.status_code, 200);
+}
+
+TEST_F(ServerTest, InternalFetchNotCountedAsClientDemand) {
+  double before = home().LoadMetric();
+  Request fetch = Get("/b.html");
+  fetch.headers.Set(std::string(http::kHeaderDcwsInternal), "fetch");
+  Response resp = home().HandleRequest(fetch, &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_EQ(home().LoadMetric(), before);
+  EXPECT_GE(home().counters().internal_requests, 1u);
+}
+
+TEST_F(ServerTest, HeadReturnsHeadersOnly) {
+  Request head = Get("/b.html");
+  head.method = "HEAD";
+  Response resp = home().HandleRequest(head, &net());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_TRUE(resp.body.empty());
+  // Content-Length advertises what GET would carry.
+  Response get = home().HandleRequest(Get("/b.html"), &net());
+  EXPECT_EQ(resp.headers.Get("Content-Length").value(),
+            std::to_string(get.body.size()));
+  EXPECT_EQ(resp.headers.Get("Content-Type").value(), "text/html");
+}
+
+TEST_F(ServerTest, HeadOnMigratedDocumentRedirects) {
+  std::string doc = ForceOneMigration();
+  Request head = Get(doc);
+  head.method = "HEAD";
+  Response resp = home().HandleRequest(head, &net());
+  EXPECT_EQ(resp.status_code, 301);
+  EXPECT_TRUE(resp.headers.Has("Location"));
+}
+
+TEST_F(ServerTest, ConditionalValidationAnswers304) {
+  std::string doc = ForceOneMigration();
+  auto record = home().ldg().Lookup(doc);
+  Server* coop = net().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home().address(), doc);
+  Response first = coop->HandleRequest(Get(target), &net());
+  ASSERT_EQ(first.status_code, 200);
+
+  // Internal fetches carry an ETag.
+  Request fetch = Get(doc);
+  fetch.headers.Set(std::string(http::kHeaderDcwsInternal), "fetch");
+  Response full = home().HandleRequest(fetch, &net());
+  ASSERT_EQ(full.status_code, 200);
+  auto etag = full.headers.Get(http::kHeaderEtag);
+  ASSERT_TRUE(etag.has_value());
+
+  // Matching If-None-Match gets an empty 304...
+  fetch.headers.Set(std::string(http::kHeaderIfNoneMatch),
+                    std::string(*etag));
+  Response not_modified = home().HandleRequest(fetch, &net());
+  EXPECT_EQ(not_modified.status_code, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+  EXPECT_GE(home().counters().not_modified, 1u);
+
+  // ...and a stale tag gets the full document again.
+  fetch.headers.Set(std::string(http::kHeaderIfNoneMatch),
+                    "\"0000000000000000\"");
+  Response refreshed = home().HandleRequest(fetch, &net());
+  EXPECT_EQ(refreshed.status_code, 200);
+  EXPECT_FALSE(refreshed.body.empty());
+}
+
+TEST(ConditionalValidationTest, SweepUses304WhenEnabled) {
+  ManualClock clock(Seconds(1));
+  ServerParams params = TestParams();
+  params.conditional_validation = true;
+  Cluster cluster(2, params, &clock);
+  Server& home = cluster.server(0);
+  ASSERT_TRUE(home.LoadSite({Doc("/index.html",
+                                 "<a href=\"hot.html\">go</a>"),
+                             Doc("/hot.html", "<p>payload</p>")},
+                            {"/index.html"})
+                  .ok());
+  cluster.TickAll();
+  for (int i = 0; i < 80; ++i) {
+    home.HandleRequest(Get("/hot.html"), &cluster.network());
+  }
+  clock.Advance(Seconds(10));
+  cluster.TickAll();
+  auto record = home.ldg().Lookup("/hot.html");
+  ASSERT_TRUE(record.ok());
+  ASSERT_FALSE(record->location == home.address());
+  Server* coop = cluster.network().Find(record->location);
+  std::string target =
+      migrate::EncodeMigratedTarget(home.address(), "/hot.html");
+  ASSERT_EQ(coop->HandleRequest(Get(target), &cluster.network())
+                .status_code,
+            200);
+  ASSERT_EQ(coop->counters().coop_fetches, 1u);
+
+  // Let several validation sweeps pass with unchanged content: every
+  // refetch should be answered 304.
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(params.validation_interval + Seconds(5));
+    cluster.TickAll();
+  }
+  EXPECT_GE(coop->counters().not_modified, 2u);
+  // Content unchanged and still served.
+  Response again = coop->HandleRequest(Get(target), &cluster.network());
+  EXPECT_EQ(again.status_code, 200);
+  EXPECT_NE(again.body.find("payload"), std::string::npos);
+}
+
+// ---------------------------------------------------------- replication
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() : clock_(Seconds(1)) {
+    ServerParams params = TestParams();
+    params.enable_replication = true;
+    params.replicate_load_factor = 2.0;
+    cluster_ = std::make_unique<Cluster>(4, params, &clock_);
+    std::vector<Document> site = {
+        Doc("/index.html",
+            "<img src=\"hot.jpg\"><a href=\"p1.html\">1</a>"
+            "<a href=\"p2.html\">2</a>"),
+        Doc("/p1.html", "<img src=\"hot.jpg\">"),
+        Doc("/p2.html", "<img src=\"hot.jpg\">"),
+        Doc("/hot.jpg", std::string(2000, 'J')),
+    };
+    EXPECT_TRUE(home().LoadSite(site, {"/index.html"}).ok());
+    cluster_->TickAll();
+  }
+
+  Server& home() { return cluster_->server(0); }
+  LoopbackNetwork& net() { return cluster_->network(); }
+
+  ManualClock clock_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ReplicationTest, HotDocumentGainsReplicas) {
+  // Drive demand so /hot.jpg migrates.
+  for (int i = 0; i < 100; ++i) {
+    home().HandleRequest(Get("/hot.jpg"), &net());
+  }
+  clock_.Advance(Seconds(10));
+  cluster_->TickAll();
+  auto record = home().ldg().Lookup("/hot.jpg");
+  ASSERT_TRUE(record.ok());
+  ASSERT_FALSE(record->location == home().address())
+      << "hot image should have migrated";
+
+  // The co-op is now hammered (simulate via GLT): home should replicate.
+  clock_.Advance(Seconds(10));
+  home().glt().Update(record->location, 500.0, clock_.Now());
+  for (int i = 0; i < 30; ++i) {  // keep some demand at home
+    home().HandleRequest(Get("/index.html"), &net());
+  }
+  cluster_->TickAll();
+
+  EXPECT_GE(home().counters().replicas_added, 1u);
+  EXPECT_GE(home().replica_table().ReplicaCount("/hot.jpg"), 2u)
+      << "rotation set should include primary + new replica";
+
+  // Replicated documents are addressed at their HOME URL: regenerated
+  // pages link the plain path, and the home server spreads load by
+  // rotating 301s across the replica set (cheap redirects, §4.4, keep
+  // client caches effective).
+  auto fetch = [&](const std::string& path) -> http::Response {
+    http::Response resp = home().HandleRequest(Get(path), &net());
+    for (int hops = 0; resp.status_code == 301 && hops < 3; ++hops) {
+      auto url = http::Url::Parse(
+          std::string(resp.headers.Get("Location").value()));
+      EXPECT_TRUE(url.ok());
+      Server* host = net().Find({url->host, url->port});
+      EXPECT_NE(host, nullptr);
+      resp = host->HandleRequest(Get(url->path), &net());
+    }
+    return resp;
+  };
+  http::Response page = fetch("/p1.html");
+  ASSERT_EQ(page.status_code, 200);
+  // Either the plain path (served at home) or the absolute home URL
+  // (position-independent co-op copy) — never a ~migrate replica URL.
+  EXPECT_NE(page.body.find("/hot.jpg\""), std::string::npos)
+      << "replicated image should be linked at its home URL: "
+      << page.body;
+  EXPECT_EQ(page.body.find("~migrate"), std::string::npos)
+      << "links must not pin one replica: " << page.body;
+
+  // Successive requests for the hot document at home 301 to different
+  // replicas.
+  http::Response first = home().HandleRequest(Get("/hot.jpg"), &net());
+  http::Response second = home().HandleRequest(Get("/hot.jpg"), &net());
+  ASSERT_EQ(first.status_code, 301);
+  ASSERT_EQ(second.status_code, 301);
+  EXPECT_NE(first.headers.Get("Location").value(),
+            second.headers.Get("Location").value())
+      << "home should rotate redirects across replicas";
+}
+
+}  // namespace
+}  // namespace dcws::core

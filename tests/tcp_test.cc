@@ -1,0 +1,207 @@
+// Tests for the real-socket transport: a DCWS group on 127.0.0.1 with
+// genuine HTTP/1.0 wire traffic between clients and servers and between
+// the cooperating servers themselves.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/net/tcp.h"
+#include "src/storage/fs.h"
+#include "src/workload/browse.h"
+
+namespace dcws::net {
+namespace {
+
+core::ServerParams FastParams() {
+  core::ServerParams params;
+  params.stats_interval = Millis(100);
+  params.load_window = Millis(100);
+  params.pinger_interval = Millis(200);
+  params.selection.hit_threshold = 1;
+  params.min_load_cps = 5;
+  params.worker_threads = 4;
+  return params;
+}
+
+storage::Document Doc(std::string path, std::string content) {
+  storage::Document doc;
+  doc.path = std::move(path);
+  doc.content = std::move(content);
+  doc.content_type = storage::GuessContentType(doc.path);
+  return doc;
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : home_({"tcp-home", 8001}, FastParams(), &clock_),
+        coop_({"tcp-coop", 8002}, FastParams(), &clock_) {
+    home_.RegisterPeer(coop_.address());
+    coop_.RegisterPeer(home_.address());
+    EXPECT_TRUE(home_
+                    .LoadSite({Doc("/index.html",
+                                   "<a href=\"deep.html\">go</a>"),
+                               Doc("/deep.html", "<img src=\"pic.gif\">"),
+                               Doc("/pic.gif", std::string(1000, 'Z'))},
+                              {"/index.html"})
+                    .ok());
+    auto home_host = network_.AddServer(&home_);
+    auto coop_host = network_.AddServer(&coop_);
+    EXPECT_TRUE(home_host.ok());
+    EXPECT_TRUE(coop_host.ok());
+    home_port_ = (*home_host)->port();
+    coop_port_ = (*coop_host)->port();
+  }
+
+  ~TcpTest() override { network_.StopAll(); }
+
+  http::Request Get(const std::string& target) {
+    http::Request req;
+    req.target = target;
+    return req;
+  }
+
+  WallClock clock_;
+  core::Server home_;
+  core::Server coop_;
+  TcpNetwork network_;
+  uint16_t home_port_ = 0;
+  uint16_t coop_port_ = 0;
+};
+
+TEST_F(TcpTest, ServesOverRealSockets) {
+  auto response = TcpCall(home_port_, Get("/index.html"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "<a href=\"deep.html\">go</a>");
+  EXPECT_EQ(response->headers.Get("Content-Type").value(), "text/html");
+}
+
+TEST_F(TcpTest, BinaryBodySurvivesTheWire) {
+  auto response = TcpCall(home_port_, Get("/pic.gif"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, std::string(1000, 'Z'));
+}
+
+TEST_F(TcpTest, NotFoundAndBadRequests) {
+  auto missing = TcpCall(home_port_, Get("/nope.html"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+
+  // Raw garbage on the socket gets a 400.
+  auto conn = ConnectLoopback(home_port_);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteAll(*conn, "NONSENSE\r\n\r\n").ok());
+  auto reply = ReadSome(*conn);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->find("400"), std::string::npos);
+}
+
+TEST_F(TcpTest, StatusEndpointReports) {
+  TcpCall(home_port_, Get("/index.html"));
+  auto response = TcpCall(home_port_, Get("/~status"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_NE(response->body.find("dcws server tcp-home:8001"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("documents: 3"), std::string::npos);
+}
+
+TEST_F(TcpTest, NetworkExecutesByServerName) {
+  auto response = network_.Execute(home_.address(), Get("/deep.html"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_TRUE(network_
+                  .Execute({"unknown", 1}, Get("/x"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(TcpTest, MigrationAndCoopFetchOverSockets) {
+  // Drive load over real sockets until the duty thread migrates.
+  for (int i = 0; i < 600; ++i) {
+    auto r = TcpCall(home_port_, Get("/deep.html"));
+    ASSERT_TRUE(r.ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  std::string migrated;
+  for (const auto& record : home_.ldg().Snapshot()) {
+    if (!(record.location == home_.address())) migrated = record.name;
+  }
+  ASSERT_FALSE(migrated.empty()) << "expected a migration under load";
+
+  // Fetch through the co-op's socket: triggers a real socket-to-socket
+  // co-op fetch back to home.
+  auto response = TcpCall(
+      coop_port_,
+      Get(migrate::EncodeMigratedTarget(home_.address(), migrated)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_GE(coop_.counters().coop_fetches, 1u);
+
+  // And the home 301s stale requests to the co-op.
+  auto redirect = TcpCall(home_port_, Get(migrated));
+  ASSERT_TRUE(redirect.ok());
+  EXPECT_EQ(redirect->status_code, 301);
+}
+
+TEST_F(TcpTest, ParallelSocketClients) {
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 25; ++i) {
+        auto r = TcpCall(home_port_, Get("/index.html"));
+        if (r.ok() && r->status_code == 200) ++ok;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), 150);
+}
+
+TEST_F(TcpTest, FetcherWalksOverSockets) {
+  TcpFetcher fetcher(&network_);
+  workload::BrowsingClient client(
+      {http::Url{"tcp-home", 8001, "/index.html"}}, 3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(client.RunWalk(fetcher));
+  }
+  EXPECT_EQ(client.stats().failures, 0u);
+}
+
+// ------------------------------------------------------- fs round trip
+
+TEST(FsTest, SaveAndLoadDirectoryRoundTrip) {
+  std::string root =
+      ::testing::TempDir() + "/dcws_fs_test_" +
+      std::to_string(::getpid());
+  std::vector<storage::Document> documents = {
+      Doc("/index.html", "<a href=\"sub/a.html\">a</a>"),
+      Doc("/sub/a.html", "<p>nested</p>"),
+      Doc("/img/x.gif", std::string(64, '\x01')),
+  };
+  ASSERT_TRUE(storage::SaveDirectory(root, documents).ok());
+
+  auto loaded = storage::LoadDirectory(root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), documents.size());
+  // LoadDirectory sorts by path.
+  EXPECT_EQ((*loaded)[0].path, "/img/x.gif");
+  EXPECT_EQ((*loaded)[1].path, "/index.html");
+  EXPECT_EQ((*loaded)[2].path, "/sub/a.html");
+  EXPECT_EQ((*loaded)[1].content, documents[0].content);
+  EXPECT_EQ((*loaded)[0].content_type, "image/gif");
+  EXPECT_EQ((*loaded)[2].content, "<p>nested</p>");
+}
+
+TEST(FsTest, LoadMissingDirectoryFails) {
+  EXPECT_TRUE(storage::LoadDirectory("/no/such/dcws/dir")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace dcws::net

@@ -1,0 +1,82 @@
+// dcws_get: minimal HTTP/1.0 client for poking a DCWS group started
+// with dcws_serve.
+//
+//   dcws_get http://127.0.0.1:PORT/path [--follow] [--headers]
+//
+// --follow chases 301 redirects (the DCWS migration mechanism) through
+// up to 5 hops, printing each hop; --headers dumps response headers.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/http/url.h"
+#include "src/net/tcp.h"
+
+using namespace dcws;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dcws_get URL [--follow] [--headers]\n");
+    return 2;
+  }
+  bool follow = false, headers = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--follow")) follow = true;
+    if (!std::strcmp(argv[i], "--headers")) headers = true;
+  }
+
+  auto url = http::Url::Parse(argv[1]);
+  if (!url.ok()) {
+    std::fprintf(stderr, "bad url: %s\n",
+                 url.status().ToString().c_str());
+    return 1;
+  }
+
+  for (int hop = 0; hop < 5; ++hop) {
+    http::Request request;
+    request.method = "GET";
+    request.target = url->path;
+    request.headers.Set(std::string(http::kHeaderHost),
+                        url->Authority());
+    auto response = net::TcpCall(url->port, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "HTTP %d %s  (%s)\n", response->status_code,
+                 std::string(http::ReasonPhrase(response->status_code))
+                     .c_str(),
+                 url->ToString().c_str());
+    if (headers) {
+      for (const auto& [name, value] : response->headers.entries()) {
+        std::fprintf(stderr, "  %s: %s\n", name.c_str(), value.c_str());
+      }
+    }
+    if (follow && response->IsRedirect()) {
+      auto location = response->headers.Get(http::kHeaderLocation);
+      if (!location.has_value()) {
+        std::fprintf(stderr, "301 without Location\n");
+        return 1;
+      }
+      // DCWS names servers symbolically; the port in the Location URL
+      // is the cooperating server's DCWS port, which dcws_serve maps to
+      // a loopback port it prints at startup.  For loopback demos the
+      // two coincide when --port was fixed; otherwise re-resolve by
+      // hand.  Here we just follow the URL as given.
+      auto next = http::Url::Parse(std::string(*location));
+      if (!next.ok()) {
+        std::fprintf(stderr, "bad Location\n");
+        return 1;
+      }
+      url = std::move(next);
+      continue;
+    }
+    std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+    return response->IsSuccess() ? 0 : 1;
+  }
+  std::fprintf(stderr, "too many redirects\n");
+  return 1;
+}

@@ -1,0 +1,144 @@
+// dcws_serve: run a real DCWS server group over TCP from a document
+// root on disk.
+//
+//   dcws_serve DOCROOT [--servers N] [--entry /index.html]
+//              [--duration SECONDS] [--stats-interval SECONDS]
+//
+// Binds every server to an ephemeral 127.0.0.1 port (printed on
+// startup); server 1 is the home seeded from DOCROOT, the rest start as
+// empty co-ops.  Point a browser or curl at the home port; /~status on
+// any server shows its operational state.  Runs until the duration
+// elapses (default: forever).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/net/tcp.h"
+#include "src/storage/fs.h"
+
+using namespace dcws;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dcws_serve DOCROOT [--servers N] [--entry PATH]\n"
+      "                  [--duration SECONDS] [--stats-interval SECONDS]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string docroot = argv[1];
+  int servers = 2;
+  std::string entry = "/index.html";
+  long duration = 0;  // 0 = run until signal
+  long stats_interval = 10;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](long& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtol(argv[++i], nullptr, 10);
+      return true;
+    };
+    long value = 0;
+    if (!std::strcmp(argv[i], "--servers") && next(value)) {
+      servers = static_cast<int>(value);
+    } else if (!std::strcmp(argv[i], "--entry") && i + 1 < argc) {
+      entry = argv[++i];
+    } else if (!std::strcmp(argv[i], "--duration") && next(value)) {
+      duration = value;
+    } else if (!std::strcmp(argv[i], "--stats-interval") && next(value)) {
+      stats_interval = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (servers < 1) return Usage();
+
+  auto documents = storage::LoadDirectory(docroot);
+  if (!documents.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 documents.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu documents from %s\n", documents->size(),
+              docroot.c_str());
+
+  core::ServerParams params;
+  params.stats_interval = Seconds(static_cast<double>(stats_interval));
+  params.load_window = params.stats_interval;
+  params.selection.hit_threshold = 2;
+
+  WallClock clock;
+  std::vector<std::unique_ptr<core::Server>> group;
+  for (int i = 0; i < servers; ++i) {
+    http::ServerAddress address{"dcws" + std::to_string(i + 1),
+                                static_cast<uint16_t>(8001 + i)};
+    group.push_back(
+        std::make_unique<core::Server>(address, params, &clock));
+  }
+  for (auto& a : group) {
+    for (auto& b : group) {
+      if (a != b) a->RegisterPeer(b->address());
+    }
+  }
+
+  std::vector<std::string> entries;
+  bool have_entry = false;
+  for (const auto& doc : *documents) {
+    if (doc.path == entry) have_entry = true;
+  }
+  if (have_entry) entries.push_back(entry);
+  if (Status s = group[0]->LoadSite(*documents, entries); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!have_entry) {
+    std::printf("note: %s not found; no pinned entry points\n",
+                entry.c_str());
+  }
+
+  net::TcpNetwork network;
+  for (size_t i = 0; i < group.size(); ++i) {
+    auto host = network.AddServer(group[i].get());
+    if (!host.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   host.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s server %s on http://127.0.0.1:%u/\n",
+                i == 0 ? "home " : "co-op",
+                group[i]->address().ToString().c_str(),
+                (*host)->port());
+  }
+  std::printf("try: curl http://127.0.0.1:%u%s  (and /~status)\n",
+              network.Resolve(group[0]->address()),
+              have_entry ? entry.c_str() : "/");
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  long elapsed_ms = 0;
+  while (!g_stop && (duration == 0 || elapsed_ms < duration * 1000)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    elapsed_ms += 100;
+  }
+
+  auto counters = group[0]->counters();
+  std::printf("\nshutting down: %llu requests served at home, "
+              "%llu migrations\n",
+              (unsigned long long)counters.requests,
+              (unsigned long long)counters.migrations);
+  network.StopAll();
+  return 0;
+}

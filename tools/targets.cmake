@@ -1,0 +1,11 @@
+# Operator-facing CLI tools; binaries in build/tools/.
+
+macro(dcws_tool name)
+  add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/tools/${name}.cc)
+  target_link_libraries(${name} PRIVATE dcws)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
+endmacro()
+
+dcws_tool(dcws_serve)
+dcws_tool(dcws_get)
