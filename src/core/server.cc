@@ -1,0 +1,812 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/html/rewriter.h"
+#include "src/http/url.h"
+#include "src/load/piggyback.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace dcws::core {
+
+namespace {
+
+constexpr std::string_view kPingTarget = "/~ping";
+constexpr std::string_view kStatusTarget = "/~status";
+constexpr std::string_view kRevokePrefix = "/~revoke/";
+
+// Rebuilds the ~migrate form of a /~revoke/... target so both paths share
+// one decoder.
+std::string RevokeToMigrateTarget(std::string_view revoke_target) {
+  std::string out(migrate::kMigratePrefix);
+  out.append(revoke_target.substr(kRevokePrefix.size()));
+  return out;
+}
+
+// Content fingerprint used as the ETag for conditional revalidation.
+std::string ContentEtag(std::string_view content) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+  for (unsigned char c : content) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string MigrateToRevokeTarget(std::string_view migrate_target) {
+  std::string out(kRevokePrefix);
+  out.append(migrate_target.substr(migrate::kMigratePrefix.size()));
+  return out;
+}
+
+}  // namespace
+
+Server::Server(http::ServerAddress self, ServerParams params,
+               const Clock* clock)
+    : self_(std::move(self)),
+      params_(params),
+      clock_(clock),
+      coop_table_(
+          migrate::CoopHostTable::Config{params.validation_interval}),
+      pinger_(load::PingerPolicy::Config{params.pinger_interval,
+                                         params.pinger_max_failures}),
+      home_policy_(self_,
+                   migrate::HomeMigrationPolicy::Config{
+                       params.stats_interval, params.coop_accept_interval,
+                       params.remigrate_interval, params.selection,
+                       params.imbalance_factor, params.min_load_cps,
+                       params.revoke_imbalance_factor}),
+      rate_window_(params.load_window) {
+  glt_.RegisterPeer(self_);
+}
+
+Status Server::LoadSite(const std::vector<storage::Document>& documents,
+                        const std::vector<std::string>& entry_points) {
+  for (const storage::Document& doc : documents) {
+    storage::Document copy = doc;
+    if (copy.content_type.empty()) {
+      copy.content_type = storage::GuessContentType(copy.path);
+    }
+    store_.Put(std::move(copy));
+  }
+  return ldg_.Build(store_, self_, entry_points);
+}
+
+void Server::RegisterPeer(const http::ServerAddress& peer) {
+  glt_.RegisterPeer(peer);
+}
+
+void Server::SetAccessLogSink(
+    std::function<void(const std::string&)> sink) {
+  MutexLock lock(log_mutex_);
+  access_log_ = std::move(sink);
+}
+
+Status Server::PutDocument(storage::Document doc, bool entry_point) {
+  if (doc.content_type.empty()) {
+    doc.content_type = storage::GuessContentType(doc.path);
+  }
+  bool existing = ldg_.Contains(doc.path);
+  store_.Put(doc);
+  if (existing) {
+    return ldg_.UpdateContent(doc.path, doc);
+  }
+  return ldg_.AddDocument(doc, self_, entry_point);
+}
+
+// ---------------------------------------------------------------------
+// Request path
+// ---------------------------------------------------------------------
+
+http::Response Server::HandleRequest(const http::Request& request,
+                                     PeerClient* peers,
+                                     RequestTrace* trace) {
+  RequestTrace local_trace;
+  if (trace == nullptr) trace = &local_trace;
+
+  AbsorbPiggyback(request.headers);
+  bool from_peer = request.headers.Has(http::kHeaderDcwsServer) ||
+                   request.headers.Has(http::kHeaderDcwsInternal);
+  bool internal = request.headers.Has(http::kHeaderDcwsInternal);
+  trace->internal = internal;
+
+  std::string target = http::NormalizePath(request.target);
+
+  bool is_head = request.method == "HEAD";
+
+  http::Response response;
+  if (target == kPingTarget) {
+    response = HandlePing();
+  } else if (target == kStatusTarget) {
+    response = HandleStatus();
+  } else if (StartsWith(target, kRevokePrefix)) {
+    response = HandleRevoke(target);
+  } else if (migrate::IsMigratedTarget(target)) {
+    response = HandleMigratedRequest(request, target, peers, trace);
+  } else {
+    response = HandleLocalRequest(request, target, internal, trace);
+  }
+
+  if (is_head && response.status_code == 200) {
+    // HEAD: headers only.  Content-Length still advertises the entity
+    // size the matching GET would carry.
+    response.headers.Set(std::string(http::kHeaderContentLength),
+                         std::to_string(response.body.size()));
+    response.body.clear();
+  }
+  if (from_peer) {
+    AttachPiggyback(response.headers);
+  }
+  if (!internal) {
+    {
+      MutexLock lock(counter_mutex_);
+      counters_.requests += 1;
+    }
+    MutexLock log_lock(log_mutex_);
+    if (access_log_) {
+      // Common Log Format; the transport knows the remote address, this
+      // layer logs the Host header (or "-").
+      std::string client = "-";
+      if (auto host = request.headers.Get(http::kHeaderHost)) {
+        client = std::string(*host);
+      }
+      std::ostringstream line;
+      line << client << " - - [-] \"" << request.method << " "
+           << request.target << " " << request.version << "\" "
+           << response.status_code << " "
+           << (response.body.empty()
+                   ? std::string("-")
+                   : std::to_string(response.body.size()));
+      access_log_(std::move(line).str());
+    }
+  }
+  return response;
+}
+
+http::Response Server::HandlePing() {
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.internal_requests += 1;
+  }
+  http::Response r;
+  r.status_code = 200;
+  return r;
+}
+
+http::Response Server::HandleStatus() {
+  std::ostringstream out;
+  out << "dcws server " << self_.ToString() << "\n";
+  graph::LocalDocumentGraph::Stats graph_stats = ldg_.GetStats();
+  out << "documents: " << graph_stats.documents << " ("
+      << graph_stats.html_documents << " html, "
+      << graph_stats.entry_points << " entry points)\n"
+      << "links: " << graph_stats.links << "\n"
+      << "migrated away: " << graph_stats.migrated
+      << ", dirty: " << graph_stats.dirty << "\n"
+      << "hosted as co-op: " << coop_table_.size() << "\n"
+      << "load: " << LoadMetric() << " cps, " << BytesMetric()
+      << " bps\n";
+  Counters c = counters();
+  out << "requests: " << c.requests << " (local " << c.served_local
+      << ", coop " << c.served_coop << ", redirects " << c.redirects
+      << ", 404 " << c.not_found << ")\n"
+      << "migrations: " << c.migrations << ", revocations: "
+      << c.revocations << ", replicas: " << c.replicas_added << "\n"
+      << "regenerations: " << c.regenerations << ", fetches: "
+      << c.coop_fetches << ", pings: " << c.pings_sent << "\n";
+  out << "global load table:\n";
+  for (const load::LoadEntry& entry : glt_.Snapshot()) {
+    out << "  " << entry.server.ToString() << " = "
+        << entry.load_metric;
+    if (entry.updated_at < 0) {
+      out << " (never heard)";
+    } else {
+      out << " (age "
+          << ToSeconds(clock_->Now() - entry.updated_at) << "s)";
+    }
+    out << "\n";
+  }
+  return http::MakeOkResponse(std::move(out).str(), "text/plain");
+}
+
+http::Response Server::HandleRevoke(const std::string& target) {
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.internal_requests += 1;
+  }
+  std::string migrate_target = RevokeToMigrateTarget(target);
+  auto decoded = migrate::DecodeMigratedTarget(migrate_target);
+  if (!decoded.ok()) {
+    return http::MakeNotFoundResponse(target);
+  }
+  // Control of the document returns to the home server.  The physical
+  // bytes stay in the store as a best-effort reserve (§4.5): if the home
+  // server later crashes, we can still serve what we have.
+  coop_table_.Revoke(migrate_target);
+  http::Response r;
+  r.status_code = 200;
+  return r;
+}
+
+http::Response Server::HandleMigratedRequest(const http::Request& request,
+                                             const std::string& target,
+                                             PeerClient* peers,
+                                             RequestTrace* trace) {
+  (void)request;
+  auto decoded = migrate::DecodeMigratedTarget(target);
+  if (!decoded.ok()) {
+    MutexLock lock(counter_mutex_);
+    counters_.not_found += 1;
+    CountConnection(0);
+    return http::MakeNotFoundResponse(target);
+  }
+  const migrate::MigratedName& name = decoded.value();
+
+  if (name.home == self_) {
+    // A stale ~migrate link naming US as home: the document lives (again)
+    // at its plain URL here; redirect the client to it.
+    CountConnection(0);
+    MutexLock lock(counter_mutex_);
+    counters_.redirects += 1;
+    return http::MakeRedirectResponse("http://" + self_.ToString() +
+                                      name.doc_path);
+  }
+
+  MicroTime now = clock_->Now();
+  migrate::CoopHostTable::Action action =
+      coop_table_.OnRequest(target, name, now);
+
+  bool fetch_failed = false;
+  if (action == migrate::CoopHostTable::Action::kFetchFromHome &&
+      peers != nullptr) {
+    fetch_failed = !FetchFromHome(peers, target, name, trace);
+  }
+
+  auto doc = store_.Get(target);
+  if (!doc.ok()) {
+    // Never fetched and the home server is unreachable.
+    CountConnection(0);
+    return http::MakeOverloadedResponse();
+  }
+  if (fetch_failed) {
+    // The home server is unreachable but we hold (possibly stale) bytes:
+    // best-effort serve (§4.5).
+    MutexLock lock(counter_mutex_);
+    counters_.stale_serves += 1;
+  }
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.served_coop += 1;
+  }
+  CountConnection(doc->size());
+  return http::MakeOkResponse(std::move(doc->content),
+                              doc->content_type);
+}
+
+http::Response Server::HandleLocalRequest(const http::Request& request,
+                                          const std::string& path,
+                                          bool internal,
+                                          RequestTrace* trace) {
+  std::string name = path;
+  if (name == "/" && ldg_.Contains(params_.index_path)) {
+    name = params_.index_path;
+  }
+
+  auto record = ldg_.Brief(name);
+  if (!record.ok()) {
+    {
+      MutexLock lock(counter_mutex_);
+      counters_.not_found += 1;
+    }
+    if (!internal) CountConnection(0);
+    return http::MakeNotFoundResponse(name);
+  }
+
+  if (internal) {
+    // Server-to-server fetch (physical migration or validation): serve
+    // the authoritative copy rendered position-independent, regardless
+    // of where the document is currently assigned.
+    {
+      MutexLock lock(counter_mutex_);
+      counters_.internal_requests += 1;
+    }
+    auto rendered = RenderForTransfer(name);
+    if (!rendered.ok()) {
+      return http::MakeNotFoundResponse(name);
+    }
+    trace->regenerated = trace->regenerated || record->is_html;
+    std::string etag = ContentEtag(*rendered);
+    if (auto if_none_match =
+            request.headers.Get(http::kHeaderIfNoneMatch);
+        if_none_match.has_value() && *if_none_match == etag) {
+      // The co-op already holds this exact rendering: 304 saves the
+      // retransmission (T_val trade-off, Table 2).
+      {
+        MutexLock lock(counter_mutex_);
+        counters_.not_modified += 1;
+      }
+      http::Response not_modified;
+      not_modified.status_code = 304;
+      not_modified.headers.Set(std::string(http::kHeaderEtag),
+                               std::move(etag));
+      return not_modified;
+    }
+    auto doc = store_.Get(name);
+    http::Response ok = http::MakeOkResponse(
+        std::move(rendered).value(), doc.ok()
+                                         ? doc->content_type
+                                         : "application/octet-stream");
+    ok.headers.Set(std::string(http::kHeaderEtag), std::move(etag));
+    return ok;
+  }
+
+  if (!(record->location == self_)) {
+    // Migrated: burdenless 301 from the local document graph (§4.4).
+    {
+      MutexLock lock(counter_mutex_);
+      counters_.redirects += 1;
+    }
+    CountConnection(0);
+    return http::MakeRedirectResponse(LinkUrlFor(name, record->location));
+  }
+
+  ldg_.RecordHit(name);
+  std::string content;
+  if (record->dirty && record->is_html) {
+    auto regenerated = RegenerateDocument(name);
+    if (regenerated.ok()) {
+      content = std::move(regenerated).value();
+      trace->regenerated = true;
+    }
+  }
+  auto doc = store_.Get(name);
+  if (!doc.ok()) {
+    MutexLock lock(counter_mutex_);
+    counters_.not_found += 1;
+    CountConnection(0);
+    return http::MakeNotFoundResponse(name);
+  }
+  if (content.empty()) content = std::move(doc->content);
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.served_local += 1;
+  }
+  CountConnection(content.size());
+  return http::MakeOkResponse(std::move(content), doc->content_type);
+}
+
+bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
+                           const migrate::MigratedName& name,
+                           RequestTrace* trace) {
+  http::Request fetch;
+  fetch.method = "GET";
+  fetch.target = name.doc_path;
+  fetch.headers.Set(std::string(http::kHeaderHost),
+                    name.home.ToString());
+  fetch.headers.Set(std::string(http::kHeaderDcwsInternal), "fetch");
+  if (params_.conditional_validation) {
+    if (auto held = store_.Get(target); held.ok()) {
+      fetch.headers.Set(std::string(http::kHeaderIfNoneMatch),
+                        ContentEtag(held->content));
+    }
+  }
+
+  auto response = InternalCall(peers, name.home, std::move(fetch));
+  pinger_.RecordProbeResult(name.home, response.ok());
+  if (response.ok() && response->status_code == 304) {
+    // Our copy is current: revalidated without retransmission.
+    coop_table_.MarkFetched(target, clock_->Now());
+    MutexLock lock(counter_mutex_);
+    counters_.not_modified += 1;
+    return true;
+  }
+  bool ok = response.ok() && response->status_code == 200;
+  if (!ok) {
+    coop_table_.MarkFetchFailed(target);
+    return false;
+  }
+
+  storage::Document doc;
+  doc.path = target;
+  doc.content = std::move(response->body);
+  if (auto type = response->headers.Get(http::kHeaderContentType)) {
+    doc.content_type = std::string(*type);
+  } else {
+    doc.content_type = storage::GuessContentType(name.doc_path);
+  }
+  uint64_t bytes = doc.size();
+  store_.Put(std::move(doc));
+  coop_table_.MarkFetched(target, clock_->Now());
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.coop_fetches += 1;
+  }
+  if (trace != nullptr) {
+    trace->coop_fetch = true;
+    trace->fetch_bytes += bytes;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Document reconstruction
+// ---------------------------------------------------------------------
+
+std::optional<std::string> Server::InternalPathFor(
+    const html::LinkOccurrence& link) const {
+  if (!link.external) return link.resolved;
+  // Absolute URL: it may be one of our own earlier rewrites.
+  auto url = http::Url::Parse(link.resolved);
+  if (!url.ok()) return std::nullopt;
+  if (migrate::IsMigratedTarget(url->path)) {
+    auto decoded = migrate::DecodeMigratedTarget(url->path);
+    if (decoded.ok() && decoded->home == self_) return decoded->doc_path;
+    return std::nullopt;
+  }
+  if (http::ServerAddress{url->host, url->port} == self_) {
+    return url->path;
+  }
+  return std::nullopt;
+}
+
+std::string Server::LinkUrlFor(const std::string& name,
+                               const http::ServerAddress& location) {
+  if (params_.enable_replication && replica_table_.IsReplicated(name)) {
+    auto pick = replica_table_.PickReplica(name);
+    if (pick.has_value()) {
+      return migrate::EncodeMigratedUrl(*pick, self_, name);
+    }
+  }
+  return migrate::EncodeMigratedUrl(location, self_, name);
+}
+
+Result<std::string> Server::RegenerateDocument(const std::string& path) {
+  DCWS_ASSIGN_OR_RETURN(storage::Document doc, store_.Get(path));
+  if (!doc.is_html()) {
+    DCWS_RETURN_IF_ERROR(ldg_.SetDirty(path, false));
+    return std::move(doc.content);
+  }
+
+  // Replica rotation granularity is the DOCUMENT: every occurrence of a
+  // target inside this page gets the same URL (a page whose 128 chart
+  // images each pointed at a different replica would make browsers fetch
+  // the image once per replica), while successive regenerations of
+  // different pages rotate across the replica set.
+  std::unordered_map<std::string, std::string> chosen;
+  html::RewriteResult rewritten = html::RewriteLinks(
+      doc.content, path,
+      [&](const html::LinkOccurrence& link)
+          -> std::optional<std::string> {
+        std::optional<std::string> name = InternalPathFor(link);
+        if (!name.has_value()) return std::nullopt;
+        auto memo = chosen.find(*name);
+        if (memo != chosen.end()) return memo->second;
+        auto record = ldg_.Brief(*name);
+        if (!record.ok()) return std::nullopt;
+        std::string url;
+        if (record->location == self_ ||
+            (params_.enable_replication &&
+             replica_table_.IsReplicated(*name))) {
+          // Local document: the plain site-absolute form (restoring any
+          // earlier co-op rewrite; identical values are no-ops inside
+          // RewriteLinks).  REPLICATED documents also keep their home
+          // URL: the home server answers with rotating 301s, which is
+          // what spreads a hot document across its replica set without
+          // defeating client caches with N distinct URLs.
+          url = *name;
+        } else {
+          url = LinkUrlFor(*name, record->location);
+        }
+        chosen.emplace(*name, url);
+        return url;
+      });
+
+  doc.content = std::move(rewritten.html);
+  std::string result = doc.content;
+  store_.Put(std::move(doc));
+  DCWS_RETURN_IF_ERROR(ldg_.SetDirty(path, false));
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.regenerations += 1;
+  }
+  return result;
+}
+
+Result<std::string> Server::RenderForTransfer(const std::string& path) {
+  DCWS_ASSIGN_OR_RETURN(storage::Document doc, store_.Get(path));
+  if (!doc.is_html()) return std::move(doc.content);
+
+  // Every internal link becomes absolute at its current location, so the
+  // copy served by the co-op resolves references back to the cluster
+  // instead of into the co-op's own namespace.
+  std::unordered_map<std::string, std::string> chosen;
+  html::RewriteResult rewritten = html::RewriteLinks(
+      doc.content, path,
+      [&](const html::LinkOccurrence& link)
+          -> std::optional<std::string> {
+        std::optional<std::string> name = InternalPathFor(link);
+        if (!name.has_value()) return std::nullopt;
+        if (*name == path) return std::nullopt;  // self link
+        auto memo = chosen.find(*name);
+        if (memo != chosen.end()) return memo->second;
+        auto record = ldg_.Brief(*name);
+        if (!record.ok()) return std::nullopt;
+        std::string url;
+        if (record->location == self_ ||
+            (params_.enable_replication &&
+             replica_table_.IsReplicated(*name))) {
+          // Home URL (see RegenerateDocument: replicated documents are
+          // addressed at home, which rotates 301s across replicas).
+          url = "http://" + self_.ToString() + *name;
+        } else {
+          url = LinkUrlFor(*name, record->location);
+        }
+        chosen.emplace(*name, url);
+        return url;
+      });
+  {
+    MutexLock lock(counter_mutex_);
+    counters_.regenerations += 1;
+  }
+  return std::move(rewritten.html);
+}
+
+// ---------------------------------------------------------------------
+// Piggybacking
+// ---------------------------------------------------------------------
+
+void Server::AttachPiggyback(http::HeaderMap& headers) {
+  glt_.Update(self_, LoadMetric(), clock_->Now());
+  load::AttachLoadInfo(glt_, self_, clock_->Now(), headers);
+}
+
+void Server::AbsorbPiggyback(const http::HeaderMap& headers) {
+  auto sender = load::AbsorbLoadInfo(headers, clock_->Now(), glt_);
+  if (sender.has_value()) {
+    pinger_.RecordProbeResult(*sender, true);
+  }
+}
+
+Result<http::Response> Server::InternalCall(
+    PeerClient* peers, const http::ServerAddress& target,
+    http::Request request) {
+  if (peers == nullptr) {
+    return Status::Unavailable("no peer transport configured");
+  }
+  AttachPiggyback(request.headers);
+  auto response = peers->Execute(target, request);
+  if (response.ok()) {
+    AbsorbPiggyback(response->headers);
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------
+// Periodic duties
+// ---------------------------------------------------------------------
+
+void Server::SetPacing(MicroTime stats_interval,
+                       MicroTime migration_interval,
+                       MicroTime coop_accept_interval) {
+  MutexLock duty_lock(duty_mutex_);
+  params_.stats_interval = stats_interval;
+  home_policy_.set_pacing(migration_interval, coop_accept_interval);
+}
+
+void Server::Tick(PeerClient* peers) {
+  MutexLock duty_lock(duty_mutex_);
+  MicroTime now = clock_->Now();
+  if (last_stats_ < 0) {
+    // First tick: anchor all timers; duties start one interval later.
+    last_stats_ = now;
+    last_validation_ = now;
+    last_ping_ = now;
+    return;
+  }
+  if (now - last_stats_ >= params_.stats_interval) {
+    last_stats_ = now;
+    RunStatistics(peers, now);
+  }
+  MicroTime validation_check =
+      std::max<MicroTime>(params_.validation_interval / 4,
+                          kMicrosPerSecond);
+  if (now - last_validation_ >= validation_check) {
+    last_validation_ = now;
+    RunValidationSweep(peers, now);
+  }
+  if (now - last_ping_ >= params_.pinger_interval) {
+    last_ping_ = now;
+    RunPinger(peers, now);
+  }
+}
+
+void Server::RunStatistics(PeerClient* peers, MicroTime now) {
+  double load = LoadMetric();
+  glt_.Update(self_, load, now);
+
+  std::vector<graph::LocalDocumentGraph::MigratedView> migrated =
+      ldg_.MigratedSnapshot();
+  std::vector<http::ServerAddress> down = pinger_.DownPeers();
+
+  // Revocations: crashed co-ops and load-shifted placements (§4.5).
+  for (const std::string& doc :
+       home_policy_.DocsToRevoke(migrated, glt_, load, down, now)) {
+    auto record = ldg_.Brief(doc);
+    if (!record.ok()) continue;
+    http::ServerAddress coop = record->location;
+    std::vector<http::ServerAddress> holders =
+        replica_table_.Replicas(doc);
+    if (std::find(holders.begin(), holders.end(), coop) ==
+        holders.end()) {
+      holders.push_back(coop);
+    }
+    if (!ldg_.SetLocation(doc, self_).ok()) continue;
+    home_policy_.RecordRevocation(doc);
+    replica_table_.Clear(doc);
+    {
+      MutexLock lock(counter_mutex_);
+      counters_.revocations += 1;
+    }
+    // Tell the (reachable) holders; best effort.
+    for (const http::ServerAddress& holder : holders) {
+      if (std::find(down.begin(), down.end(), holder) != down.end()) {
+        continue;
+      }
+      http::Request revoke;
+      revoke.method = "GET";
+      revoke.target = MigrateToRevokeTarget(
+          migrate::EncodeMigratedTarget(self_, doc));
+      revoke.headers.Set(std::string(http::kHeaderDcwsInternal),
+                         "revoke");
+      (void)InternalCall(peers, holder, std::move(revoke));
+    }
+  }
+
+  // At most one logical migration per statistics interval (§5.2).
+  // (Selection views are only computed when a migration is even
+  // possible; idle servers skip the scan.)
+  std::optional<migrate::HomeMigrationPolicy::Decision> decision;
+  if (load >= params_.min_load_cps) {
+    decision = home_policy_.Decide(ldg_.SelectionSnapshot(), glt_, load,
+                                   now);
+  }
+  if (decision.has_value()) {
+    if (ldg_.SetLocation(decision->doc, decision->target).ok()) {
+      home_policy_.RecordMigration(*decision, now);
+      MutexLock lock(counter_mutex_);
+      counters_.migrations += 1;
+      DCWS_LOG(kInfo) << self_.ToString() << " migrates "
+                      << decision->doc << " -> "
+                      << decision->target.ToString();
+    }
+  }
+
+  // Replication extension: when a co-op hosting our documents still runs
+  // far hotter than we do, give its hottest placement another replica.
+  if (params_.enable_replication) {
+    // A co-op is "hot" when its load stands clear of the group mean —
+    // comparing against the mean (not against our own load) detects a
+    // saturated co-op even when the home server is itself busy.
+    double mean_load = 0;
+    {
+      std::vector<load::LoadEntry> entries = glt_.Snapshot();
+      for (const load::LoadEntry& entry : entries) {
+        mean_load += entry.load_metric;
+      }
+      if (!entries.empty()) {
+        mean_load /= static_cast<double>(entries.size());
+      }
+    }
+    const graph::LocalDocumentGraph::MigratedView* hottest = nullptr;
+    double worst_load = 0;
+    for (const auto& record : migrated) {
+      auto coop = glt_.Get(record.location);
+      if (!coop.ok()) continue;
+      if (coop->load_metric <=
+          params_.replicate_load_factor * std::max(mean_load, 1.0)) {
+        continue;
+      }
+      if (hottest == nullptr || coop->load_metric > worst_load ||
+          (coop->load_metric == worst_load &&
+           record.total_hits > hottest->total_hits)) {
+        hottest = &record;
+        worst_load = coop->load_metric;
+      }
+    }
+    if (hottest != nullptr &&
+        replica_table_.ReplicaCount(hottest->name) <
+            static_cast<size_t>(params_.max_replicas)) {
+      // Choose the least-loaded server not already serving this doc.
+      std::vector<http::ServerAddress> serving =
+          replica_table_.Replicas(hottest->name);
+      serving.push_back(hottest->location);
+      std::vector<load::LoadEntry> peers_by_load = glt_.Snapshot();
+      std::sort(peers_by_load.begin(), peers_by_load.end(),
+                [](const load::LoadEntry& a, const load::LoadEntry& b) {
+                  if (a.load_metric != b.load_metric) {
+                    return a.load_metric < b.load_metric;
+                  }
+                  return a.server < b.server;
+                });
+      for (const load::LoadEntry& candidate : peers_by_load) {
+        if (candidate.server == self_) continue;
+        if (std::find(serving.begin(), serving.end(), candidate.server) !=
+            serving.end()) {
+          continue;
+        }
+        if (replica_table_.ReplicaCount(hottest->name) == 0) {
+          // Fold the primary placement into the rotation set first.
+          replica_table_.AddReplica(hottest->name, hottest->location);
+        }
+        replica_table_.AddReplica(hottest->name, candidate.server);
+        // NotFound only if the record vanished since the snapshot;
+        // dependents then have nothing to regenerate anyway.
+        (void)ldg_.TouchLinkFrom(hottest->name);
+        {
+          MutexLock lock(counter_mutex_);
+          counters_.replicas_added += 1;
+        }
+        DCWS_LOG(kInfo) << self_.ToString() << " replicates "
+                        << hottest->name << " -> "
+                        << candidate.server.ToString();
+        break;
+      }
+    }
+  }
+
+  ldg_.ResetWindowHits();
+}
+
+void Server::RunValidationSweep(PeerClient* peers, MicroTime now) {
+  for (const migrate::CoopHostTable::HostedDoc& doc :
+       coop_table_.ValidationDue(now)) {
+    FetchFromHome(peers, doc.target, doc.name, nullptr);
+  }
+}
+
+void Server::RunPinger(PeerClient* peers, MicroTime now) {
+  for (const http::ServerAddress& peer :
+       pinger_.PeersToProbe(glt_, now)) {
+    http::Request ping;
+    ping.method = "GET";
+    ping.target = std::string(kPingTarget);
+    ping.headers.Set(std::string(http::kHeaderDcwsInternal), "ping");
+    auto response = InternalCall(peers, peer, std::move(ping));
+    pinger_.RecordProbeResult(peer, response.ok());
+    MutexLock lock(counter_mutex_);
+    counters_.pings_sent += 1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+void Server::CountConnection(uint64_t bytes) {
+  MutexLock lock(window_mutex_);
+  rate_window_.Record(clock_->Now(), bytes);
+}
+
+double Server::LoadMetric() const {
+  MutexLock lock(window_mutex_);
+  return rate_window_.Cps(clock_->Now());
+}
+
+double Server::BytesMetric() const {
+  MutexLock lock(window_mutex_);
+  return rate_window_.Bps(clock_->Now());
+}
+
+Server::Counters Server::counters() const {
+  MutexLock lock(counter_mutex_);
+  return counters_;
+}
+
+}  // namespace dcws::core

@@ -1,0 +1,239 @@
+#ifndef DCWS_CORE_SERVER_H_
+#define DCWS_CORE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/server_params.h"
+#include "src/graph/ldg.h"
+#include "src/html/links.h"
+#include "src/http/address.h"
+#include "src/http/message.h"
+#include "src/load/glt.h"
+#include "src/load/pinger.h"
+#include "src/metrics/rate_window.h"
+#include "src/migrate/coop_table.h"
+#include "src/migrate/home_policy.h"
+#include "src/migrate/naming.h"
+#include "src/migrate/replication.h"
+#include "src/storage/document_store.h"
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+#include "src/util/result.h"
+
+namespace dcws::core {
+
+// Server-to-server transport hook.  The in-process cluster implements it
+// with blocking queue round-trips on real threads; the simulator
+// implements it by invoking the target server directly and charging the
+// modelled resources.
+class PeerClient {
+ public:
+  virtual ~PeerClient() = default;
+  // Sends `request` to `target` and waits for the response.  Transport
+  // failures (peer down, timeout) surface as non-OK status.
+  virtual Result<http::Response> Execute(
+      const http::ServerAddress& target,
+      const http::Request& request) = 0;
+};
+
+// Per-request annotations for transports/simulators that model costs.
+struct RequestTrace {
+  bool regenerated = false;    // HTML parse + reconstruction happened
+  bool coop_fetch = false;     // a synchronous home-server fetch happened
+  uint64_t fetch_bytes = 0;    // bytes pulled from the home server
+  bool internal = false;       // server-to-server request
+};
+
+// One DCWS server process: front end, worker logic, statistics module and
+// pinger rolled into a transport-agnostic object (paper §5.1 modules).
+// It is simultaneously a home server for the site it was seeded with and
+// a co-op server for any document another home migrates to it (§3.3,
+// "fully symmetric").
+//
+// Thread-safe: HandleRequest may be called from many worker threads while
+// one statistics/pinger thread calls Tick.
+class Server {
+ public:
+  Server(http::ServerAddress self, ServerParams params,
+         const Clock* clock);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- setup ----
+  // Seeds the store with site content and builds the LDG.  `entry_points`
+  // are the well-known entry points that must never migrate.
+  Status LoadSite(const std::vector<storage::Document>& documents,
+                  const std::vector<std::string>& entry_points);
+  // Makes a cooperating server known to the GLT.
+  void RegisterPeer(const http::ServerAddress& peer);
+
+  // ---- request path (worker threads) ----
+  http::Response HandleRequest(const http::Request& request,
+                               PeerClient* peers,
+                               RequestTrace* trace = nullptr);
+
+  // ---- periodic duties (statistics + pinger thread) ----
+  // Runs any duties that have come due: statistics recalculation and
+  // migration decisions every T_st, co-op validation sweeps, pinger
+  // probes every T_pi.  Call at least once per second of (virtual) time.
+  void Tick(PeerClient* peers);
+
+  // ---- content management (author actions) ----
+  // Adds or replaces a document at runtime; link structure is refreshed
+  // and dependents regenerate lazily.
+  Status PutDocument(storage::Document doc, bool entry_point = false);
+
+  // Adjusts statistics/migration pacing at runtime.  Experiment drivers
+  // accelerate warm-up with this and restore the Table-1 values before
+  // the measured window.  Call from a single thread.
+  void SetPacing(MicroTime stats_interval, MicroTime migration_interval,
+                 MicroTime coop_accept_interval);
+
+  // Installs an access-log sink invoked once per client-facing request
+  // with a Common-Log-Format line (real servers write this to disk; the
+  // hook keeps the library I/O-free).  Pass nullptr to disable.
+  void SetAccessLogSink(std::function<void(const std::string&)> sink);
+
+  // ---- introspection ----
+  const http::ServerAddress& address() const { return self_; }
+  const ServerParams& params() const { return params_; }
+  graph::LocalDocumentGraph& ldg() { return ldg_; }
+  load::GlobalLoadTable& glt() { return glt_; }
+  storage::DocumentStore& store() { return store_; }
+  migrate::CoopHostTable& coop_table() { return coop_table_; }
+  migrate::ReplicaTable& replica_table() { return replica_table_; }
+
+  // Current load metric (CPS over the load window) as the statistics
+  // module computes it.
+  double LoadMetric() const;
+  double BytesMetric() const;
+
+  struct Counters {
+    uint64_t requests = 0;          // client-facing requests handled
+    uint64_t served_local = 0;      // 200s from our own documents
+    uint64_t served_coop = 0;       // 200s for documents hosted as co-op
+    uint64_t redirects = 0;         // 301s for migrated documents
+    uint64_t not_found = 0;
+    uint64_t regenerations = 0;     // dirty-document reconstructions
+    uint64_t coop_fetches = 0;      // physical migrations + validations
+    uint64_t migrations = 0;        // logical migrations committed
+    uint64_t revocations = 0;
+    uint64_t replicas_added = 0;
+    uint64_t pings_sent = 0;
+    uint64_t internal_requests = 0;  // server-to-server requests served
+    uint64_t stale_serves = 0;       // best-effort serves of cached bytes
+    uint64_t not_modified = 0;       // validations answered/received 304
+  };
+  Counters counters() const;
+
+ private:
+  // -- request-path helpers --
+  http::Response HandleMigratedRequest(const http::Request& request,
+                                       const std::string& target,
+                                       PeerClient* peers,
+                                       RequestTrace* trace);
+  http::Response HandleLocalRequest(const http::Request& request,
+                                    const std::string& path,
+                                    bool internal, RequestTrace* trace);
+  http::Response HandlePing();
+  http::Response HandleRevoke(const std::string& target);
+  // Plain-text operational snapshot served at /~status (admin surface:
+  // counters, graph statistics, the GLT view).
+  http::Response HandleStatus();
+
+  // Regenerates a dirty document in place: rewrites hyperlinks whose
+  // targets migrated (or gained replicas) to their current URLs, writes
+  // the new source back to the store and clears the dirty bit.  Returns
+  // the fresh content.
+  Result<std::string> RegenerateDocument(const std::string& path);
+
+  // Renders a document for transfer to another server: every internal
+  // link becomes an absolute URL at its current location, so the copy is
+  // position-independent on the co-op.
+  Result<std::string> RenderForTransfer(const std::string& path);
+
+  // Chooses the URL a hyperlink to the migrated document `name`
+  // (currently placed at `location`) should carry right now — replica
+  // rotation happens here.
+  std::string LinkUrlFor(const std::string& name,
+                         const http::ServerAddress& location);
+
+  // Maps a link occurrence back to the site path of one of OUR documents,
+  // seeing through earlier rewrites: plain internal references, absolute
+  // URLs at our own authority, and ~migrate URLs naming us as home all
+  // resolve to the original document path.  nullopt for genuinely
+  // external links.
+  std::optional<std::string> InternalPathFor(
+      const html::LinkOccurrence& link) const;
+
+  // Attaches piggybacked load info (refreshing our own GLT row first).
+  void AttachPiggyback(http::HeaderMap& headers);
+  // Absorbs piggybacked info; marks the sender fresh.
+  void AbsorbPiggyback(const http::HeaderMap& headers);
+
+  // Issues an internal server-to-server request with piggybacking both
+  // ways.  Counts pinger bookkeeping on failure when `for_ping`.
+  Result<http::Response> InternalCall(PeerClient* peers,
+                                      const http::ServerAddress& target,
+                                      http::Request request);
+
+  // -- periodic duties (Tick holds duty_mutex_ across each of these) --
+  void RunStatistics(PeerClient* peers, MicroTime now)
+      DCWS_REQUIRES(duty_mutex_);
+  void RunValidationSweep(PeerClient* peers, MicroTime now)
+      DCWS_REQUIRES(duty_mutex_);
+  void RunPinger(PeerClient* peers, MicroTime now)
+      DCWS_REQUIRES(duty_mutex_);
+  // Fetches a hosted document from its home server; updates store/table.
+  // Returns true on success.
+  bool FetchFromHome(PeerClient* peers, const std::string& target,
+                     const migrate::MigratedName& name,
+                     RequestTrace* trace);
+
+  void CountConnection(uint64_t bytes);
+
+  // Concurrency map (see DESIGN.md "Concurrency model & checking"):
+  // self_/clock_ are immutable after construction; store_, ldg_, glt_,
+  // coop_table_, replica_table_ and pinger_ are internally synchronized
+  // (each owns an annotated lock); everything below is guarded by one of
+  // the four Server mutexes.  params_ is written only by SetPacing
+  // (stats_interval, under duty_mutex_) and read for that field only
+  // under duty_mutex_; all other fields are set-once configuration.
+  http::ServerAddress self_;
+  ServerParams params_;
+  const Clock* clock_;
+
+  storage::DocumentStore store_;
+  graph::LocalDocumentGraph ldg_;
+  load::GlobalLoadTable glt_;
+  migrate::CoopHostTable coop_table_;
+  migrate::ReplicaTable replica_table_;
+  load::PingerPolicy pinger_;
+
+  // Serializes the periodic duties; also guards the policy object the
+  // statistics module mutates (HomeMigrationPolicy is documented
+  // single-threaded).
+  mutable Mutex duty_mutex_;
+  migrate::HomeMigrationPolicy home_policy_ DCWS_GUARDED_BY(duty_mutex_);
+  MicroTime last_stats_ DCWS_GUARDED_BY(duty_mutex_) = -1;
+  MicroTime last_validation_ DCWS_GUARDED_BY(duty_mutex_) = -1;
+  MicroTime last_ping_ DCWS_GUARDED_BY(duty_mutex_) = -1;
+
+  mutable Mutex window_mutex_;
+  metrics::RateWindow rate_window_ DCWS_GUARDED_BY(window_mutex_);
+
+  mutable Mutex counter_mutex_;
+  Counters counters_ DCWS_GUARDED_BY(counter_mutex_);
+
+  mutable Mutex log_mutex_;
+  std::function<void(const std::string&)> access_log_
+      DCWS_GUARDED_BY(log_mutex_);
+};
+
+}  // namespace dcws::core
+
+#endif  // DCWS_CORE_SERVER_H_

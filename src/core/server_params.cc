@@ -1,0 +1,33 @@
+#include "src/core/server_params.h"
+
+#include <sstream>
+
+namespace dcws::core {
+
+std::string FormatTable1(const ServerParams& params) {
+  std::ostringstream os;
+  auto seconds = [](MicroTime t) {
+    return std::to_string(t / kMicrosPerSecond) + " seconds";
+  };
+  os << "Number of front-end threads (N_fe):            "
+     << params.front_end_threads << "\n"
+     << "Number of pinger threads (N_pi):               "
+     << params.pinger_threads << "\n"
+     << "Number of worker threads (N_wk):               "
+     << params.worker_threads << "\n"
+     << "Socket queue length (L_sq):                    "
+     << params.socket_queue_length << "\n"
+     << "Statistics re-calculation interval (T_st):     "
+     << seconds(params.stats_interval) << "\n"
+     << "Pinger thread activation interval (T_pi):      "
+     << seconds(params.pinger_interval) << "\n"
+     << "Co-op document validation interval (T_val):    "
+     << seconds(params.validation_interval) << "\n"
+     << "Home document re-migration interval (T_home):  "
+     << seconds(params.remigrate_interval) << "\n"
+     << "Min time between migrations to a co-op (T_coop): "
+     << seconds(params.coop_accept_interval) << "\n";
+  return os.str();
+}
+
+}  // namespace dcws::core

@@ -1,0 +1,63 @@
+#ifndef DCWS_CORE_SERVER_PARAMS_H_
+#define DCWS_CORE_SERVER_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/migrate/selection.h"
+#include "src/util/clock.h"
+
+namespace dcws::core {
+
+// Server configuration.  The first block is the paper's Table 1 with its
+// published default values; the second block holds policy knobs the paper
+// leaves implicit ("it is determined that a migration should occur").
+struct ServerParams {
+  // ---- Table 1 ----
+  int front_end_threads = 1;                              // N_fe
+  int pinger_threads = 1;                                 // N_pi
+  int worker_threads = 12;                                // N_wk
+  int socket_queue_length = 100;                          // L_sq
+  MicroTime stats_interval = 10 * kMicrosPerSecond;       // T_st
+  MicroTime pinger_interval = 20 * kMicrosPerSecond;      // T_pi
+  MicroTime validation_interval = 120 * kMicrosPerSecond;  // T_val
+  MicroTime remigrate_interval = 300 * kMicrosPerSecond;  // T_home
+  MicroTime coop_accept_interval = 60 * kMicrosPerSecond;  // T_coop
+
+  // ---- policy knobs ----
+  migrate::SelectionConfig selection;
+  // Load metric window (the paper suggests requests/minute; we default to
+  // the statistics interval so the metric tracks demand shifts quickly).
+  MicroTime load_window = 10 * kMicrosPerSecond;
+  // Migrate when own CPS exceeds the best co-op candidate's by this
+  // factor, and only above a demand floor.
+  double imbalance_factor = 1.25;
+  double min_load_cps = 1.0;
+  // Revoke after T_home when the co-op is this much busier than us.
+  double revoke_imbalance_factor = 2.0;
+  int pinger_max_failures = 3;
+
+  // ---- extensions (paper future work; off by default) ----
+  bool enable_replication = false;
+  // Add a replica when a co-op hosting our documents runs this much
+  // hotter than the group mean load.
+  double replicate_load_factor = 1.2;
+  int max_replicas = 8;
+
+  // Conditional revalidation: co-op validation sweeps send
+  // If-None-Match so unchanged documents come back as an empty 304
+  // instead of a full retransmission.  (Extension beyond the paper; its
+  // Table 2 notes low T_val causes "more retransmission of unchanged
+  // documents" — this removes most of that cost.)
+  bool conditional_validation = false;
+
+  // Requests for "/" map to this document when it exists.
+  std::string index_path = "/index.html";
+};
+
+// Prints the Table-1 block in the paper's format (used by bench headers).
+std::string FormatTable1(const ServerParams& params);
+
+}  // namespace dcws::core
+
+#endif  // DCWS_CORE_SERVER_PARAMS_H_

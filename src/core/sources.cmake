@@ -1,0 +1,5 @@
+dcws_module(core
+  server.cc
+  server_params.cc
+  cluster.cc
+)

@@ -42,7 +42,7 @@ std::vector<std::string> ExtractInternalTargets(
 Status LocalDocumentGraph::Build(
     const storage::DocumentStore& store, const http::ServerAddress& home,
     const std::vector<std::string>& entry_points) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   home_ = home;
   records_.clear();
 
@@ -83,7 +83,7 @@ Status LocalDocumentGraph::Build(
 Status LocalDocumentGraph::AddDocument(const storage::Document& doc,
                                        const http::ServerAddress& home,
                                        bool entry_point) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (records_.contains(doc.path)) {
     return Status::AlreadyExists("document already in graph: " + doc.path);
   }
@@ -107,7 +107,7 @@ Status LocalDocumentGraph::AddDocument(const storage::Document& doc,
 
 Status LocalDocumentGraph::UpdateContent(const std::string& name,
                                          const storage::Document& doc) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -137,7 +137,7 @@ Status LocalDocumentGraph::UpdateLinksLocked(
 
 Result<DocumentRecord> LocalDocumentGraph::Lookup(
     const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -147,7 +147,7 @@ Result<DocumentRecord> LocalDocumentGraph::Lookup(
 
 Result<LocalDocumentGraph::RecordBrief> LocalDocumentGraph::Brief(
     const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -158,12 +158,12 @@ Result<LocalDocumentGraph::RecordBrief> LocalDocumentGraph::Brief(
 }
 
 bool LocalDocumentGraph::Contains(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.contains(name);
 }
 
 bool LocalDocumentGraph::RecordHit(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) return false;
   it->second.total_hits += 1;
@@ -172,13 +172,13 @@ bool LocalDocumentGraph::RecordHit(const std::string& name) {
 }
 
 void LocalDocumentGraph::ResetWindowHits() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, record] : records_) record.window_hits = 0;
 }
 
 Status LocalDocumentGraph::SetLocation(
     const std::string& name, const http::ServerAddress& location) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -195,7 +195,7 @@ Status LocalDocumentGraph::SetLocation(
 }
 
 Status LocalDocumentGraph::SetDirty(const std::string& name, bool dirty) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -205,7 +205,7 @@ Status LocalDocumentGraph::SetDirty(const std::string& name, bool dirty) {
 }
 
 Status LocalDocumentGraph::TouchLinkFrom(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) {
     return Status::NotFound("no record for " + name);
@@ -218,7 +218,7 @@ Status LocalDocumentGraph::TouchLinkFrom(const std::string& name) {
 }
 
 std::vector<DocumentRecord> LocalDocumentGraph::Snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<DocumentRecord> out;
   out.reserve(records_.size());
   for (const auto& [name, record] : records_) out.push_back(record);
@@ -227,7 +227,7 @@ std::vector<DocumentRecord> LocalDocumentGraph::Snapshot() const {
 
 std::vector<LocalDocumentGraph::SelectionView>
 LocalDocumentGraph::SelectionSnapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SelectionView> out;
   out.reserve(records_.size());
   for (const auto& [name, record] : records_) {
@@ -250,7 +250,7 @@ LocalDocumentGraph::SelectionSnapshot() const {
 
 std::vector<LocalDocumentGraph::MigratedView>
 LocalDocumentGraph::MigratedSnapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MigratedView> out;
   for (const auto& [name, record] : records_) {
     if (record.location == home_) continue;
@@ -260,7 +260,7 @@ LocalDocumentGraph::MigratedSnapshot() const {
 }
 
 LocalDocumentGraph::Stats LocalDocumentGraph::GetStats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.documents = records_.size();
   for (const auto& [name, record] : records_) {
@@ -275,7 +275,7 @@ LocalDocumentGraph::Stats LocalDocumentGraph::GetStats() const {
 }
 
 size_t LocalDocumentGraph::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 

@@ -2,7 +2,6 @@
 #define DCWS_GRAPH_LDG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 
 #include "src/http/address.h"
 #include "src/storage/document_store.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace dcws::graph {
@@ -136,17 +136,23 @@ class LocalDocumentGraph {
   };
   Stats GetStats() const;
 
-  const http::ServerAddress& home() const { return home_; }
+  http::ServerAddress home() const {
+    MutexLock lock(mutex_);
+    return home_;
+  }
   size_t size() const;
 
  private:
-  // Requires mutex_ held.
   Status UpdateLinksLocked(const std::string& name,
-                           std::vector<std::string> new_link_to);
+                           std::vector<std::string> new_link_to)
+      DCWS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  http::ServerAddress home_;
-  std::unordered_map<std::string, DocumentRecord> records_;
+  mutable Mutex mutex_;
+  // home_ is written only by Build() before the worker pool starts; the
+  // lock still guards it because Build may legally be re-run.
+  http::ServerAddress home_ DCWS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, DocumentRecord> records_
+      DCWS_GUARDED_BY(mutex_);
 };
 
 // Parses `doc` (if HTML) and returns the site-internal documents it

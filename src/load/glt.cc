@@ -5,13 +5,13 @@
 namespace dcws::load {
 
 void GlobalLoadTable::RegisterPeer(const http::ServerAddress& server) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.try_emplace(server, LoadEntry{server, 0, -1});
 }
 
 void GlobalLoadTable::Update(const http::ServerAddress& server,
                              double load_metric, MicroTime updated_at) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] =
       entries_.try_emplace(server, LoadEntry{server, load_metric,
                                              updated_at});
@@ -23,7 +23,7 @@ void GlobalLoadTable::Update(const http::ServerAddress& server,
 
 Result<LoadEntry> GlobalLoadTable::Get(
     const http::ServerAddress& server) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(server);
   if (it == entries_.end()) {
     return Status::NotFound("unknown server " + server.ToString());
@@ -32,7 +32,7 @@ Result<LoadEntry> GlobalLoadTable::Get(
 }
 
 std::vector<LoadEntry> GlobalLoadTable::Snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<LoadEntry> out;
   out.reserve(entries_.size());
   for (const auto& [server, entry] : entries_) out.push_back(entry);
@@ -44,13 +44,13 @@ std::vector<LoadEntry> GlobalLoadTable::Snapshot() const {
 }
 
 size_t GlobalLoadTable::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::optional<http::ServerAddress> GlobalLoadTable::LeastLoaded(
     const http::ServerAddress& self) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const LoadEntry* best = nullptr;
   for (const auto& [server, entry] : entries_) {
     if (server == self) continue;
@@ -66,7 +66,7 @@ std::optional<http::ServerAddress> GlobalLoadTable::LeastLoaded(
 
 std::vector<http::ServerAddress> GlobalLoadTable::StalePeers(
     MicroTime now, MicroTime max_age) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<http::ServerAddress> stale;
   for (const auto& [server, entry] : entries_) {
     if (entry.updated_at < 0 || now - entry.updated_at > max_age) {

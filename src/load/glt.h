@@ -1,7 +1,6 @@
 #ifndef DCWS_LOAD_GLT_H_
 #define DCWS_LOAD_GLT_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -9,6 +8,7 @@
 
 #include "src/http/address.h"
 #include "src/util/clock.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace dcws::load {
@@ -60,10 +60,10 @@ class GlobalLoadTable {
                                               MicroTime max_age) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, LoadEntry,
                      http::ServerAddressHash>
-      entries_;
+      entries_ DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::load

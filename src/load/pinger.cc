@@ -8,14 +8,19 @@ std::vector<http::ServerAddress> PingerPolicy::PeersToProbe(
     const GlobalLoadTable& table, MicroTime now) const {
   std::vector<http::ServerAddress> stale =
       table.StalePeers(now, config_.staleness_limit);
-  std::erase_if(stale, [this](const http::ServerAddress& peer) {
-    return IsDown(peer);
+  // Snapshot the down set (sorted) in one lock acquisition, then filter
+  // outside the lock — keeps the capability out of the erase_if lambda,
+  // which the thread-safety analysis cannot see into.
+  std::vector<http::ServerAddress> down = DownPeers();
+  std::erase_if(stale, [&down](const http::ServerAddress& peer) {
+    return std::binary_search(down.begin(), down.end(), peer);
   });
   return stale;
 }
 
 void PingerPolicy::RecordProbeResult(const http::ServerAddress& peer,
                                      bool success) {
+  MutexLock lock(mutex_);
   if (success) {
     consecutive_failures_.erase(peer);
   } else {
@@ -24,6 +29,11 @@ void PingerPolicy::RecordProbeResult(const http::ServerAddress& peer,
 }
 
 bool PingerPolicy::IsDown(const http::ServerAddress& peer) const {
+  MutexLock lock(mutex_);
+  return IsDownLocked(peer);
+}
+
+bool PingerPolicy::IsDownLocked(const http::ServerAddress& peer) const {
   auto it = consecutive_failures_.find(peer);
   return it != consecutive_failures_.end() &&
          it->second >= config_.max_consecutive_failures;
@@ -31,8 +41,13 @@ bool PingerPolicy::IsDown(const http::ServerAddress& peer) const {
 
 std::vector<http::ServerAddress> PingerPolicy::DownPeers() const {
   std::vector<http::ServerAddress> down;
-  for (const auto& [peer, failures] : consecutive_failures_) {
-    if (failures >= config_.max_consecutive_failures) down.push_back(peer);
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [peer, failures] : consecutive_failures_) {
+      if (failures >= config_.max_consecutive_failures) {
+        down.push_back(peer);
+      }
+    }
   }
   std::sort(down.begin(), down.end());
   return down;

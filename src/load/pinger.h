@@ -7,6 +7,7 @@
 #include "src/http/address.h"
 #include "src/load/glt.h"
 #include "src/util/clock.h"
+#include "src/util/mutex.h"
 
 namespace dcws::load {
 
@@ -18,8 +19,13 @@ namespace dcws::load {
 //
 // This class is pure policy — the owning server performs the actual
 // probes — so the same code drives the simulator's virtual pinger and
-// the in-process cluster's real pinger thread.  Not thread-safe; the
-// pinger runs on one thread.
+// the in-process cluster's real pinger thread.
+//
+// Thread-safe.  Although the probe loop runs on one duty thread,
+// RecordProbeResult is also called from every WORKER thread: absorbing a
+// piggyback header counts as hearing from the peer, and a failed co-op
+// fetch counts against it (Server::AbsorbPiggyback / FetchFromHome) —
+// so the failure table sees genuinely concurrent updates.
 class PingerPolicy {
  public:
   struct Config {
@@ -32,22 +38,30 @@ class PingerPolicy {
   // Peers whose GLT entry is older than the staleness limit and that are
   // not already declared down.  Called once per pinger wake-up.
   std::vector<http::ServerAddress> PeersToProbe(
-      const GlobalLoadTable& table, MicroTime now) const;
+      const GlobalLoadTable& table, MicroTime now) const
+      DCWS_EXCLUDES(mutex_);
 
   // Records a probe outcome.  A success clears the failure count and any
   // down state (a machine may come back).
-  void RecordProbeResult(const http::ServerAddress& peer, bool success);
+  void RecordProbeResult(const http::ServerAddress& peer, bool success)
+      DCWS_EXCLUDES(mutex_);
 
   // True once max_consecutive_failures probes in a row have failed.
-  bool IsDown(const http::ServerAddress& peer) const;
-  std::vector<http::ServerAddress> DownPeers() const;
+  bool IsDown(const http::ServerAddress& peer) const
+      DCWS_EXCLUDES(mutex_);
+  std::vector<http::ServerAddress> DownPeers() const
+      DCWS_EXCLUDES(mutex_);
 
   const Config& config() const { return config_; }
 
  private:
-  Config config_;
+  bool IsDownLocked(const http::ServerAddress& peer) const
+      DCWS_REQUIRES(mutex_);
+
+  const Config config_;  // immutable after construction; lock-free reads
+  mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, int, http::ServerAddressHash>
-      consecutive_failures_;
+      consecutive_failures_ DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::load

@@ -8,7 +8,7 @@ namespace dcws::migrate {
 CoopHostTable::Action CoopHostTable::OnRequest(const std::string& target,
                                                const MigratedName& name,
                                                MicroTime now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = hosted_.try_emplace(target);
   HostedDoc& doc = it->second;
   if (inserted) {
@@ -26,7 +26,7 @@ CoopHostTable::Action CoopHostTable::OnRequest(const std::string& target,
 }
 
 void CoopHostTable::MarkFetched(const std::string& target, MicroTime now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = hosted_.find(target);
   if (it == hosted_.end()) return;
   it->second.fetched = true;
@@ -34,7 +34,7 @@ void CoopHostTable::MarkFetched(const std::string& target, MicroTime now) {
 }
 
 void CoopHostTable::MarkFetchFailed(const std::string& target) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = hosted_.find(target);
   if (it == hosted_.end()) return;
   // Nothing to roll back: `fetched` only flips in MarkFetched.  Keep the
@@ -44,7 +44,7 @@ void CoopHostTable::MarkFetchFailed(const std::string& target) {
 
 std::vector<CoopHostTable::HostedDoc> CoopHostTable::ValidationDue(
     MicroTime now) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<HostedDoc> due;
   for (const auto& [target, doc] : hosted_) {
     if (!doc.fetched) continue;  // first fetch happens on demand
@@ -60,19 +60,19 @@ std::vector<CoopHostTable::HostedDoc> CoopHostTable::ValidationDue(
 }
 
 bool CoopHostTable::Revoke(const std::string& target) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hosted_.erase(target) > 0;
 }
 
 bool CoopHostTable::IsHosted(const std::string& target) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = hosted_.find(target);
   return it != hosted_.end() && it->second.fetched;
 }
 
 Result<CoopHostTable::HostedDoc> CoopHostTable::Get(
     const std::string& target) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = hosted_.find(target);
   if (it == hosted_.end()) {
     return Status::NotFound("not hosted: " + target);
@@ -81,7 +81,7 @@ Result<CoopHostTable::HostedDoc> CoopHostTable::Get(
 }
 
 std::vector<CoopHostTable::HostedDoc> CoopHostTable::Snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<HostedDoc> out;
   out.reserve(hosted_.size());
   for (const auto& [target, doc] : hosted_) out.push_back(doc);
@@ -93,12 +93,12 @@ std::vector<CoopHostTable::HostedDoc> CoopHostTable::Snapshot() const {
 }
 
 size_t CoopHostTable::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hosted_.size();
 }
 
 std::vector<http::ServerAddress> CoopHostTable::HomeServers() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::set<http::ServerAddress> homes;
   for (const auto& [target, doc] : hosted_) homes.insert(doc.name.home);
   return std::vector<http::ServerAddress>(homes.begin(), homes.end());

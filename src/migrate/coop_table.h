@@ -1,13 +1,13 @@
 #ifndef DCWS_MIGRATE_COOP_TABLE_H_
 #define DCWS_MIGRATE_COOP_TABLE_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/migrate/naming.h"
 #include "src/util/clock.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace dcws::migrate {
@@ -65,7 +65,7 @@ class CoopHostTable {
   bool Revoke(const std::string& target);
 
   bool IsHosted(const std::string& target) const;
-  Result<HostedDoc> Get(const std::string& target) const;
+  [[nodiscard]] Result<HostedDoc> Get(const std::string& target) const;
   std::vector<HostedDoc> Snapshot() const;
   size_t size() const;
 
@@ -74,9 +74,10 @@ class CoopHostTable {
   std::vector<http::ServerAddress> HomeServers() const;
 
  private:
-  Config config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, HostedDoc> hosted_;
+  const Config config_;  // immutable after construction; lock-free reads
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, HostedDoc> hosted_
+      DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::migrate

@@ -40,7 +40,8 @@ struct MigratedName {
 };
 
 // Recovers (home server, original path) from a ~migrate target.
-Result<MigratedName> DecodeMigratedTarget(std::string_view target);
+[[nodiscard]] Result<MigratedName> DecodeMigratedTarget(
+    std::string_view target);
 
 }  // namespace dcws::migrate
 

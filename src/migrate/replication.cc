@@ -6,7 +6,7 @@ namespace dcws::migrate {
 
 bool ReplicaTable::AddReplica(const std::string& doc,
                               const http::ServerAddress& coop) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = entries_[doc];
   if (std::find(entry.replicas.begin(), entry.replicas.end(), coop) !=
       entry.replicas.end()) {
@@ -18,7 +18,7 @@ bool ReplicaTable::AddReplica(const std::string& doc,
 
 bool ReplicaTable::RemoveReplica(const std::string& doc,
                                  const http::ServerAddress& coop) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(doc);
   if (it == entries_.end()) return false;
   auto& replicas = it->second.replicas;
@@ -30,32 +30,32 @@ bool ReplicaTable::RemoveReplica(const std::string& doc,
 }
 
 void ReplicaTable::Clear(const std::string& doc) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.erase(doc);
 }
 
 bool ReplicaTable::IsReplicated(const std::string& doc) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.contains(doc);
 }
 
 std::vector<http::ServerAddress> ReplicaTable::Replicas(
     const std::string& doc) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(doc);
   if (it == entries_.end()) return {};
   return it->second.replicas;
 }
 
 size_t ReplicaTable::ReplicaCount(const std::string& doc) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(doc);
   return it == entries_.end() ? 0 : it->second.replicas.size();
 }
 
 std::optional<http::ServerAddress> ReplicaTable::PickReplica(
     const std::string& doc) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(doc);
   if (it == entries_.end() || it->second.replicas.empty()) {
     return std::nullopt;
@@ -68,7 +68,7 @@ std::optional<http::ServerAddress> ReplicaTable::PickReplica(
 }
 
 size_t ReplicaTable::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

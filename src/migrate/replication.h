@@ -2,13 +2,13 @@
 #define DCWS_MIGRATE_REPLICATION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/http/address.h"
+#include "src/util/mutex.h"
 
 namespace dcws::migrate {
 
@@ -54,8 +54,9 @@ class ReplicaTable {
     std::vector<http::ServerAddress> replicas;
     uint64_t next = 0;  // round-robin cursor
   };
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_
+      DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::migrate

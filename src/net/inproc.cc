@@ -11,7 +11,7 @@ InprocServerHost::InprocServerHost(core::Server* server,
 InprocServerHost::~InprocServerHost() { Stop(); }
 
 void InprocServerHost::Start() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) return;
   running_ = true;
   stopping_ = false;
@@ -25,16 +25,16 @@ void InprocServerHost::Start() {
 
 void InprocServerHost::Stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   if (duty_thread_.joinable()) duty_thread_.join();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Fail whatever is still queued.
     for (auto& job : queue_) {
       job->promise.set_value(
@@ -50,7 +50,7 @@ Result<http::Response> InprocServerHost::Call(
     const http::Request& request) {
   std::future<Result<http::Response>> future;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_ || stopping_) {
       return Status::Unavailable("server not running: " +
                                  server_->address().ToString());
@@ -67,7 +67,7 @@ Result<http::Response> InprocServerHost::Call(
     queue_.push_back(std::move(job));
     accepted_ += 1;
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future.get();
 }
 
@@ -75,8 +75,8 @@ void InprocServerHost::WorkerLoop() {
   while (true) {
     std::unique_ptr<Job> job;
     {
-      std::unique_lock lock(mutex_);
-      queue_cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(mutex_);
       if (stopping_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -95,7 +95,7 @@ void InprocServerHost::DutyLoop() {
   // T_st / T_pi / T_val).
   while (true) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
     }
     server_->Tick(network_);
@@ -104,19 +104,19 @@ void InprocServerHost::DutyLoop() {
 }
 
 uint64_t InprocServerHost::accepted() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return accepted_;
 }
 
 uint64_t InprocServerHost::dropped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 InprocNetwork::~InprocNetwork() { StopAll(); }
 
 InprocServerHost& InprocNetwork::AddServer(core::Server* server) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto host = std::make_unique<InprocServerHost>(server, this);
   host->Start();
   auto [it, inserted] =
@@ -126,14 +126,14 @@ InprocServerHost& InprocNetwork::AddServer(core::Server* server) {
 
 InprocServerHost* InprocNetwork::Find(
     const http::ServerAddress& address) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = hosts_.find(address);
   return it == hosts_.end() ? nullptr : it->second.get();
 }
 
 void InprocNetwork::SetDown(const http::ServerAddress& address,
                             bool down) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (down) {
     down_.insert(address);
   } else {
@@ -142,7 +142,7 @@ void InprocNetwork::SetDown(const http::ServerAddress& address,
 }
 
 bool InprocNetwork::IsDown(const http::ServerAddress& address) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return down_.contains(address);
 }
 
@@ -151,7 +151,7 @@ void InprocNetwork::StopAll() {
   // needs Find.
   std::vector<InprocServerHost*> hosts;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [address, host] : hosts_) hosts.push_back(host.get());
   }
   for (InprocServerHost* host : hosts) host->Stop();
@@ -161,7 +161,7 @@ Result<http::Response> InprocNetwork::Execute(
     const http::ServerAddress& target, const http::Request& request) {
   InprocServerHost* host = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (down_.contains(target)) {
       return Status::Unavailable("server down: " + target.ToString());
     }

@@ -1,17 +1,16 @@
 #ifndef DCWS_NET_INPROC_H_
 #define DCWS_NET_INPROC_H_
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/server.h"
+#include "src/util/mutex.h"
 #include "src/workload/browse.h"
 
 namespace dcws::net {
@@ -35,7 +34,10 @@ class InprocServerHost {
 
   void Start();
   void Stop();
-  bool running() const { return running_; }
+  bool running() const {
+    MutexLock lock(mutex_);
+    return running_;
+  }
 
   core::Server& server() { return *server_; }
 
@@ -58,14 +60,16 @@ class InprocServerHost {
   core::Server* server_;
   InprocNetwork* network_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<Job>> queue_;
-  bool running_ = false;
-  bool stopping_ = false;
-  uint64_t accepted_ = 0;
-  uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  CondVar queue_cv_;
+  std::deque<std::unique_ptr<Job>> queue_ DCWS_GUARDED_BY(mutex_);
+  bool running_ DCWS_GUARDED_BY(mutex_) = false;
+  bool stopping_ DCWS_GUARDED_BY(mutex_) = false;
+  uint64_t accepted_ DCWS_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_ DCWS_GUARDED_BY(mutex_) = 0;
 
+  // Joined only by Stop(), which is serialized against Start() by the
+  // running_/stopping_ handshake; not touched by the pool itself.
   std::vector<std::thread> workers_;
   std::thread duty_thread_;
 };
@@ -93,12 +97,12 @@ class InprocNetwork : public core::PeerClient {
                                  const http::Request& request) override;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress,
                      std::unique_ptr<InprocServerHost>,
                      http::ServerAddressHash>
-      hosts_;
-  std::set<http::ServerAddress> down_;
+      hosts_ DCWS_GUARDED_BY(mutex_);
+  std::set<http::ServerAddress> down_ DCWS_GUARDED_BY(mutex_);
 };
 
 // workload::Fetcher over an InprocNetwork, for driving Algorithm-2

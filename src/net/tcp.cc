@@ -38,21 +38,26 @@ TcpServerHost::~TcpServerHost() { Stop(); }
 
 void TcpServerHost::Stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
-  // Closing the listener unblocks accept(); a final self-connection
-  // guards against platforms where close alone does not.
-  uint16_t port = port_;
-  listener_.Close();
-  { auto poke = ConnectLoopback(port); }
-  queue_cv_.notify_all();
+  // Wake the blocked accept() WITHOUT closing the listener: shutdown()
+  // only reads the fd, while Close() would write fd_ = -1 racing the
+  // accept thread's listener_.fd() read — and would let the kernel hand
+  // the fd number to a concurrent open before accept() rechecks it.  A
+  // self-connection poke covers platforms where shutdown() on a
+  // listening socket does not unblock accept.  The fd is closed only
+  // after the accept thread has exited.
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  { auto poke = ConnectLoopback(port_); }
+  queue_cv_.NotifyAll();
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   if (duty_thread_.joinable()) duty_thread_.join();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   pending_.clear();  // RAII closes any queued connections
 }
 
@@ -60,21 +65,21 @@ void TcpServerHost::AcceptLoop() {
   while (true) {
     int fd = ::accept(listener_.fd(), nullptr, nullptr);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         if (fd >= 0) ::close(fd);
         return;
       }
     }
     if (fd < 0) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
       continue;
     }
     Socket conn(fd);
     accepted_.fetch_add(1);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (pending_.size() <
           static_cast<size_t>(server_->params().socket_queue_length)) {
         pending_.push_back(std::move(conn));
@@ -85,7 +90,7 @@ void TcpServerHost::AcceptLoop() {
         continue;
       }
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -93,9 +98,8 @@ void TcpServerHost::WorkerLoop() {
   while (true) {
     Socket conn;
     {
-      std::unique_lock lock(mutex_);
-      queue_cv_.wait(lock,
-                     [this]() { return stopping_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && pending_.empty()) queue_cv_.Wait(mutex_);
       if (stopping_) return;
       conn = std::move(pending_.front());
       pending_.pop_front();
@@ -136,7 +140,7 @@ void TcpServerHost::DutyLoop() {
   // T_pi / T_val internally).
   while (true) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
     }
     server_->Tick(network_);
@@ -150,14 +154,14 @@ Result<TcpServerHost*> TcpNetwork::AddServer(core::Server* server) {
   DCWS_ASSIGN_OR_RETURN(std::unique_ptr<TcpServerHost> host,
                         TcpServerHost::Start(server, this, 0));
   TcpServerHost* raw = host.get();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ports_[server->address()] = raw->port();
   hosts_.push_back(std::move(host));
   return raw;
 }
 
 uint16_t TcpNetwork::Resolve(const http::ServerAddress& address) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = ports_.find(address);
   return it == ports_.end() ? 0 : it->second;
 }
@@ -165,7 +169,7 @@ uint16_t TcpNetwork::Resolve(const http::ServerAddress& address) const {
 void TcpNetwork::StopAll() {
   std::vector<TcpServerHost*> hosts;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& host : hosts_) hosts.push_back(host.get());
   }
   for (TcpServerHost* host : hosts) host->Stop();

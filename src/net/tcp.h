@@ -2,16 +2,15 @@
 #define DCWS_NET_TCP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/server.h"
 #include "src/net/socket_util.h"
+#include "src/util/mutex.h"
 #include "src/workload/browse.h"
 
 namespace dcws::net {
@@ -60,10 +59,11 @@ class TcpServerHost {
   Socket listener_;
   uint16_t port_ = 0;
 
-  std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Socket> pending_;  // the socket queue (bounded by L_sq)
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar queue_cv_;
+  // The socket queue (bounded by L_sq).
+  std::deque<Socket> pending_ DCWS_GUARDED_BY(mutex_);
+  bool stopping_ DCWS_GUARDED_BY(mutex_) = false;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
@@ -93,11 +93,12 @@ class TcpNetwork : public core::PeerClient {
                                  const http::Request& request) override;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, uint16_t,
                      http::ServerAddressHash>
-      ports_;
-  std::vector<std::unique_ptr<TcpServerHost>> hosts_;
+      ports_ DCWS_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<TcpServerHost>> hosts_
+      DCWS_GUARDED_BY(mutex_);
 };
 
 // Issues one HTTP/1.0 exchange over a fresh loopback connection.

@@ -130,12 +130,20 @@ void SimWorld::ScheduleTicks() {
     MicroTime offset = static_cast<MicroTime>(i + 1) * 7'001;
     auto tick = std::make_shared<std::function<void()>>();
     SimHost* host = hosts_[i].get();
-    *tick = [this, host, tick]() {
+    // The rescheduling closure must not own `tick` (capturing the
+    // shared_ptr it is stored in makes a reference cycle and leaks the
+    // whole chain); the world owns the tick functions, the closure holds
+    // a weak reference that goes dead when the world is torn down.
+    std::weak_ptr<std::function<void()>> weak = tick;
+    *tick = [this, host, weak]() {
       if (!down_.contains(host->address())) {
         host->server().Tick(this);
       }
-      queue_.ScheduleAfter(kMicrosPerSecond / 4, *tick);
+      if (auto self = weak.lock()) {
+        queue_.ScheduleAfter(kMicrosPerSecond / 4, *self);
+      }
     };
+    ticks_.push_back(tick);
     queue_.ScheduleAfter(offset, *tick);
   }
 }

@@ -173,6 +173,9 @@ class SimWorld : public core::PeerClient {
   std::vector<http::Url> entry_urls_;
   ClientTotals totals_;
   SubmitInterceptor interceptor_;
+  // Owns the per-host rescheduling tick closures; the closures
+  // themselves hold only weak references (see ScheduleTicks).
+  std::vector<std::shared_ptr<std::function<void()>>> ticks_;
   uint64_t latency_decimator_ = 0;
   std::vector<double> latency_samples_ms_;
 };

@@ -21,7 +21,7 @@ std::string GuessContentType(std::string_view path) {
 }
 
 void DocumentStore::Put(Document doc) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = documents_.find(doc.path);
   if (it != documents_.end()) {
     total_bytes_ -= it->second.size();
@@ -35,7 +35,7 @@ void DocumentStore::Put(Document doc) {
 }
 
 Result<Document> DocumentStore::Get(std::string_view path) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = documents_.find(std::string(path));
   if (it == documents_.end()) {
     return Status::NotFound("no document at " + std::string(path));
@@ -44,12 +44,12 @@ Result<Document> DocumentStore::Get(std::string_view path) const {
 }
 
 bool DocumentStore::Contains(std::string_view path) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return documents_.contains(std::string(path));
 }
 
 Status DocumentStore::Remove(std::string_view path) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = documents_.find(std::string(path));
   if (it == documents_.end()) {
     return Status::NotFound("no document at " + std::string(path));
@@ -60,7 +60,7 @@ Status DocumentStore::Remove(std::string_view path) {
 }
 
 std::vector<std::string> DocumentStore::ListPaths() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::string> paths;
   paths.reserve(documents_.size());
   for (const auto& [path, doc] : documents_) paths.push_back(path);
@@ -69,18 +69,18 @@ std::vector<std::string> DocumentStore::ListPaths() const {
 }
 
 size_t DocumentStore::Count() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return documents_.size();
 }
 
 uint64_t DocumentStore::TotalBytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return total_bytes_;
 }
 
 void DocumentStore::ForEach(
     const std::function<void(const Document&)>& fn) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   for (const auto& [path, doc] : documents_) fn(doc);
 }
 

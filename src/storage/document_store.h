@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/document.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace dcws::storage {
@@ -32,10 +31,10 @@ class DocumentStore {
 
   // Copy-out read.  (Copies keep lock scopes tiny; document bodies in the
   // modelled datasets average a few KB.)
-  Result<Document> Get(std::string_view path) const;
+  [[nodiscard]] Result<Document> Get(std::string_view path) const;
 
   bool Contains(std::string_view path) const;
-  Status Remove(std::string_view path);
+  [[nodiscard]] Status Remove(std::string_view path);
 
   // Sorted list of stored paths.
   std::vector<std::string> ListPaths() const;
@@ -48,9 +47,10 @@ class DocumentStore {
       const std::function<void(const Document&)>& fn) const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, Document> documents_;
-  uint64_t total_bytes_ = 0;
+  mutable SharedMutex mutex_;
+  std::unordered_map<std::string, Document> documents_
+      DCWS_GUARDED_BY(mutex_);
+  uint64_t total_bytes_ DCWS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dcws::storage

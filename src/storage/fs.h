@@ -14,12 +14,13 @@ namespace dcws::storage {
 // ("/" + path relative to root), with the content type guessed from the
 // extension.  This is how a real deployment seeds a home server from
 // its document root.
-Result<std::vector<Document>> LoadDirectory(const std::string& root);
+[[nodiscard]] Result<std::vector<Document>> LoadDirectory(
+    const std::string& root);
 
 // Writes documents under `root`, creating directories as needed (the
 // inverse of LoadDirectory; used by tooling and tests).
-Status SaveDirectory(const std::string& root,
-                     const std::vector<Document>& documents);
+[[nodiscard]] Status SaveDirectory(const std::string& root,
+                                   const std::vector<Document>& documents);
 
 }  // namespace dcws::storage
 

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "src/util/mutex.h"
 
 namespace dcws {
 
@@ -11,8 +12,10 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 // Serializes writes so interleaved thread output stays line-atomic.
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+// (Annotated dcws::Mutex like every other lock in the library; leaked so
+// logging stays usable during static destruction.)
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -55,7 +58,7 @@ void EmitLog(LogLevel level, const char* file, int line,
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line,
                message.c_str());
 }

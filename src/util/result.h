@@ -16,7 +16,7 @@ namespace dcws {
 //   if (!url.ok()) return url.status();
 //   Use(url.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit conversions from both value and error make call sites read
   // naturally: `return value;` / `return Status::NotFound(...)`.
@@ -26,11 +26,41 @@ class Result {
   }
 
   Result(const Result&) = default;
-  Result& operator=(const Result&) = default;
-  Result(Result&&) noexcept = default;
-  Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return value_.has_value(); }
+  // Copy/move assignment and move construction are hand-written: the
+  // defaulted operators transfer status_ and value_ independently, which
+  // leaves a moved-from Result with an engaged value_ but a gutted
+  // status_ — callers probing such an object could consume a moved-from
+  // T while ok() still reports true.  These operators pin the moved-from
+  // source to a definite error state and assert the "status_.ok() iff
+  // value_ engaged" invariant on every transfer.
+  Result(Result&& other) noexcept
+      : status_(std::move(other.status_)),
+        value_(std::move(other.value_)) {
+    other.MarkMovedFrom();
+    assert(Invariant());
+  }
+
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      status_ = other.status_;
+      value_ = other.value_;
+    }
+    assert(Invariant());
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      status_ = std::move(other.status_);
+      value_ = std::move(other.value_);
+      other.MarkMovedFrom();
+    }
+    assert(Invariant());
+    return *this;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
@@ -57,6 +87,16 @@ class Result {
   }
 
  private:
+  bool Invariant() const { return status_.ok() == value_.has_value(); }
+
+  // Leaves a moved-from source holding a recognizable error: ok() is
+  // false and status() explains what happened instead of exposing a
+  // moved-from T.  noexcept: only scalar stores and string moves.
+  void MarkMovedFrom() noexcept {
+    value_.reset();
+    status_ = Status(StatusCode::kInternal, std::string());
+  }
+
   Status status_;  // OK iff value_ engaged.
   std::optional<T> value_;
 };

@@ -32,8 +32,10 @@ std::string_view StatusCodeName(StatusCode code);
 
 // Value-type status.  OK statuses carry no message and are cheap to copy.
 // The library never throws; every fallible operation returns a Status or a
-// Result<T> (see result.h).
-class Status {
+// Result<T> (see result.h).  [[nodiscard]] on the class makes silently
+// dropping any returned Status a warning at every call site; discard
+// deliberately with a (void) cast.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,7 +79,7 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

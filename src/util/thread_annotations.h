@@ -1,0 +1,78 @@
+#ifndef DCWS_UTIL_THREAD_ANNOTATIONS_H_
+#define DCWS_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety), compiled to
+// no-ops on toolchains without the capability analysis (GCC, MSVC).  The
+// macros follow the standard Clang naming so the analysis documentation
+// applies directly; every DCWS class whose state is mutex-guarded
+// annotates its members with DCWS_GUARDED_BY and its internal helpers
+// with DCWS_REQUIRES, so a clang build statically proves lock discipline.
+//
+// Usage:
+//   class DCWS_CAPABILITY("mutex") Mutex { ... };  (see mutex.h)
+//
+//   class Table {
+//     mutable Mutex mutex_;
+//     std::unordered_map<K, V> rows_ DCWS_GUARDED_BY(mutex_);
+//     void CompactLocked() DCWS_REQUIRES(mutex_);
+//   };
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DCWS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DCWS_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// Declares a type to be a capability (lockable).  The string names the
+// capability kind in diagnostics ("mutex", "shared_mutex").
+#define DCWS_CAPABILITY(x) DCWS_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII type that acquires a capability in its constructor and
+// releases it in its destructor.
+#define DCWS_SCOPED_CAPABILITY DCWS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members: readable/writable only with the capability held
+// (exclusively for writes, at least shared for reads).
+#define DCWS_GUARDED_BY(x) DCWS_THREAD_ANNOTATION_(guarded_by(x))
+#define DCWS_PT_GUARDED_BY(x) DCWS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Functions: caller must hold the capability (exclusively / shared).
+#define DCWS_REQUIRES(...) \
+  DCWS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DCWS_REQUIRES_SHARED(...) \
+  DCWS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Functions: caller must NOT hold the capability (deadlock prevention
+// for self-locking public interfaces).
+#define DCWS_EXCLUDES(...) \
+  DCWS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release capabilities themselves.
+#define DCWS_ACQUIRE(...) \
+  DCWS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DCWS_ACQUIRE_SHARED(...) \
+  DCWS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define DCWS_RELEASE(...) \
+  DCWS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DCWS_RELEASE_SHARED(...) \
+  DCWS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define DCWS_TRY_ACQUIRE(...) \
+  DCWS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Return-value capability association (e.g. accessors returning a
+// reference to a guarded member).
+#define DCWS_RETURN_CAPABILITY(x) \
+  DCWS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (condition-variable
+// internals, adopting native handles).  Use sparingly and justify at the
+// call site.
+#define DCWS_NO_THREAD_SAFETY_ANALYSIS \
+  DCWS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Assertion form: tells the analysis the capability is held here without
+// generating code (pair with a runtime check where one exists).
+#define DCWS_ASSERT_CAPABILITY(x) \
+  DCWS_THREAD_ANNOTATION_(assert_capability(x))
+
+#endif  // DCWS_UTIL_THREAD_ANNOTATIONS_H_

@@ -226,5 +226,47 @@ TEST(PingerTest, DownPeersNotReprobed) {
   EXPECT_TRUE(pinger.PeersToProbe(glt, Seconds(100)).empty());
 }
 
+TEST(PingerTest, RecoveryOneShortOfLimitNeverDeclaresDown) {
+  // max-1 consecutive failures, then a success: the streak must reset to
+  // zero, so a further max-1 failures still leave the peer up.
+  PingerPolicy pinger({Seconds(20), 3});
+  pinger.RecordProbeResult(kS2, false);
+  pinger.RecordProbeResult(kS2, false);
+  pinger.RecordProbeResult(kS2, true);
+  EXPECT_FALSE(pinger.IsDown(kS2));
+  pinger.RecordProbeResult(kS2, false);
+  pinger.RecordProbeResult(kS2, false);
+  EXPECT_FALSE(pinger.IsDown(kS2));
+  EXPECT_TRUE(pinger.DownPeers().empty());
+  // The third failure of the new streak finally tips it.
+  pinger.RecordProbeResult(kS2, false);
+  EXPECT_TRUE(pinger.IsDown(kS2));
+}
+
+TEST(PingerTest, RecoveredPeerBecomesProbeCandidateAgain) {
+  GlobalLoadTable glt;
+  glt.RegisterPeer(kS2);
+  PingerPolicy pinger({Seconds(20), 1});
+  pinger.RecordProbeResult(kS2, false);
+  ASSERT_TRUE(pinger.IsDown(kS2));
+  EXPECT_TRUE(pinger.PeersToProbe(glt, Seconds(100)).empty());
+
+  // A piggybacked success (the machine came back) clears the down state;
+  // the still-stale GLT row makes it probe-worthy immediately.
+  pinger.RecordProbeResult(kS2, true);
+  EXPECT_FALSE(pinger.IsDown(kS2));
+  auto probes = pinger.PeersToProbe(glt, Seconds(100));
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0], kS2);
+}
+
+TEST(PingerTest, EmptyGltYieldsNoProbes) {
+  GlobalLoadTable glt;
+  PingerPolicy pinger({Seconds(20), 3});
+  EXPECT_TRUE(pinger.PeersToProbe(glt, Seconds(100)).empty());
+  EXPECT_TRUE(pinger.DownPeers().empty());
+  EXPECT_FALSE(pinger.IsDown(kS1));  // never-seen peer is not down
+}
+
 }  // namespace
 }  // namespace dcws

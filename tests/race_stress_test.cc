@@ -1,0 +1,363 @@
+// Concurrency stress suite, designed to run under ThreadSanitizer
+// (cmake -DDCWS_SANITIZE=thread): every shared table the paper's design
+// depends on — the GLT refreshed by piggyback headers and pinger
+// probes, the coop/replication tables consulted per request, the LDG
+// mutated by migration — is hammered from real threads in patterns that
+// give TSan genuine interleavings to inspect.  The tests also run (and
+// must pass) in plain builds; the assertions check liveness and
+// bookkeeping sanity, while the sanitizer checks the memory model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/load/pinger.h"
+#include "src/migrate/naming.h"
+#include "src/net/inproc.h"
+#include "src/util/rng.h"
+
+namespace dcws {
+namespace {
+
+// Iteration counts tuned so the full file stays in the tens of seconds
+// under TSan on one core while still crossing every lock thousands of
+// times.
+constexpr int kClientThreads = 4;
+constexpr int kRequestsPerClient = 150;
+
+storage::Document Doc(std::string path, std::string content) {
+  storage::Document doc;
+  doc.path = std::move(path);
+  doc.content = std::move(content);
+  doc.content_type = storage::GuessContentType(doc.path);
+  return doc;
+}
+
+core::ServerParams StressParams() {
+  core::ServerParams params;
+  params.worker_threads = 3;
+  params.stats_interval = Millis(50);
+  params.load_window = Millis(100);
+  params.pinger_interval = Millis(100);
+  params.validation_interval = Millis(200);
+  params.selection.hit_threshold = 1;
+  params.min_load_cps = 2;
+  params.enable_replication = true;
+  params.max_replicas = 2;
+  params.conditional_validation = true;
+  return params;
+}
+
+// ---------------------------------------------------------------------
+// Table-level exercisers: tight windows on the individual shared
+// structures, including the PingerPolicy failure table that worker
+// threads update through piggyback absorption.
+// ---------------------------------------------------------------------
+
+TEST(RaceStressTest, PingerPolicySurvivesConcurrentProbeResults) {
+  load::GlobalLoadTable glt;
+  std::vector<http::ServerAddress> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back({"peer" + std::to_string(i), 9000});
+    glt.RegisterPeer(peers.back());
+  }
+  load::PingerPolicy pinger(load::PingerPolicy::Config{Seconds(1), 3});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Worker-thread pattern: piggyback successes and fetch failures.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(7 * t + 1);
+      for (int i = 0; i < 4000; ++i) {
+        const auto& peer = peers[rng.NextBelow(peers.size())];
+        pinger.RecordProbeResult(peer, rng.NextBelow(3) != 0);
+      }
+    });
+  }
+  // Duty-thread pattern: probe planning and down-set reads.
+  threads.emplace_back([&]() {
+    while (!stop.load()) {
+      (void)pinger.PeersToProbe(glt, Seconds(100));
+      for (const auto& peer : peers) (void)pinger.IsDown(peer);
+      (void)pinger.DownPeers();
+    }
+  });
+  for (int t = 0; t < 3; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  // Drive every peer down, then recover each: the table must end empty.
+  for (const auto& peer : peers) {
+    for (int i = 0; i < 3; ++i) pinger.RecordProbeResult(peer, false);
+    EXPECT_TRUE(pinger.IsDown(peer));
+    pinger.RecordProbeResult(peer, true);
+    EXPECT_FALSE(pinger.IsDown(peer));
+  }
+  EXPECT_TRUE(pinger.DownPeers().empty());
+}
+
+TEST(RaceStressTest, GltConcurrentUpdatesKeepFreshestObservation) {
+  load::GlobalLoadTable glt;
+  http::ServerAddress self{"self", 9000};
+  std::vector<http::ServerAddress> peers;
+  for (int i = 0; i < 3; ++i) {
+    peers.push_back({"glt" + std::to_string(i), 9000});
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(13 * t + 5);
+      for (int i = 0; i < 3000; ++i) {
+        const auto& peer = peers[rng.NextBelow(peers.size())];
+        glt.Update(peer, static_cast<double>(i), i);
+        (void)glt.LeastLoaded(self);
+        (void)glt.Get(peer);
+        if (i % 64 == 0) (void)glt.Snapshot();
+        if (i % 128 == 0) (void)glt.StalePeers(i, Seconds(1));
+      }
+      // Deterministic capstone: thread t stamps "its" peer with a
+      // timestamp newer than anything the random phase wrote.
+      glt.Update(peers[t], static_cast<double>(t), 3000 + t);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Monotonicity: Update never lets an older observation win, so each
+  // peer must carry exactly its capstone timestamp — a torn or lost
+  // update under concurrency would leave something older (or garbage).
+  for (int t = 0; t < 3; ++t) {
+    auto entry = glt.Get(peers[t]);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry.value().updated_at, 3000 + t)
+        << peers[t].ToString();
+  }
+}
+
+TEST(RaceStressTest, ReplicaTableConcurrentRotationStaysInSet) {
+  migrate::ReplicaTable table;
+  const std::string doc = "/hot.html";
+  std::vector<http::ServerAddress> coops = {
+      {"r0", 9000}, {"r1", 9000}, {"r2", 9000}};
+
+  std::atomic<int> escaped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(29 * t + 3);
+      for (int i = 0; i < 3000; ++i) {
+        const auto& coop = coops[rng.NextBelow(coops.size())];
+        if (rng.NextBelow(4) == 0) {
+          (void)table.RemoveReplica(doc, coop);
+        } else {
+          (void)table.AddReplica(doc, coop);
+        }
+        auto pick = table.PickReplica(doc);
+        if (pick.has_value() &&
+            std::find(coops.begin(), coops.end(), *pick) == coops.end()) {
+          escaped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(escaped.load(), 0) << "PickReplica returned a non-member";
+}
+
+// ---------------------------------------------------------------------
+// Cluster-level stress: a three-server in-process cluster under client
+// load while migration, piggybacking, validation sweeps, the pinger,
+// author updates, crash injection and introspection all run at once.
+// ---------------------------------------------------------------------
+
+class ClusterStressTest : public ::testing::Test {
+ protected:
+  ClusterStressTest()
+      : home_({"alpha", 9001}, StressParams(), &clock_),
+        coop1_({"beta", 9002}, StressParams(), &clock_),
+        coop2_({"gamma", 9003}, StressParams(), &clock_) {
+    std::vector<storage::Document> site;
+    site.push_back(Doc("/index.html",
+                       "<a href=\"a.html\">a</a><a href=\"b.html\">b</a>"
+                       "<a href=\"c.html\">c</a>"));
+    site.push_back(Doc("/a.html", "<img src=\"i.gif\"><a href=\"b.html\">"
+                                  "b</a>"));
+    site.push_back(Doc("/b.html", "<a href=\"c.html\">c</a><p>b</p>"));
+    site.push_back(Doc("/c.html", "<p>c</p>"));
+    site.push_back(Doc("/i.gif", std::string(2000, 'I')));
+    EXPECT_TRUE(home_.LoadSite(site, {"/index.html"}).ok());
+
+    core::Server* servers[] = {&home_, &coop1_, &coop2_};
+    for (core::Server* a : servers) {
+      for (core::Server* b : servers) {
+        if (a != b) a->RegisterPeer(b->address());
+      }
+    }
+    network_.AddServer(&home_);
+    network_.AddServer(&coop1_);
+    network_.AddServer(&coop2_);
+  }
+
+  ~ClusterStressTest() override { network_.StopAll(); }
+
+  WallClock clock_;
+  core::Server home_;
+  core::Server coop1_;
+  core::Server coop2_;
+  net::InprocNetwork network_;
+};
+
+TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> responses{0};
+  std::atomic<int> handled{0};  // non-503: reached a worker thread
+  std::atomic<int> transport_errors{0};
+
+  const std::string paths[] = {"/index.html", "/a.html", "/b.html",
+                               "/c.html",     "/i.gif",  "/"};
+
+  std::vector<std::thread> threads;
+
+  // Client threads: plain requests plus follow-ups on the ~migrate form,
+  // so the co-op fetch path (worker blocking on a peer's queue) runs
+  // while the home's duty thread migrates more documents.
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(101 * t + 17);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        http::Request request;
+        request.target = paths[rng.NextBelow(std::size(paths))];
+        auto response = network_.Execute(home_.address(), request);
+        if (!response.ok()) {
+          transport_errors.fetch_add(1);
+          continue;
+        }
+        responses.fetch_add(1);
+        // 503 = bounded socket queue overflow: dropped by the front end
+        // before any worker saw it, so it never reaches the counters.
+        if (response->status_code != 503) handled.fetch_add(1);
+        if (response->status_code == 301) {
+          // Chase the redirect into the co-op, like a browser would.
+          auto url = http::Url::Parse(
+              std::string(response->headers.Get("Location").value_or("")));
+          if (url.ok()) {
+            http::Request follow;
+            follow.target = url->path;
+            (void)network_.Execute({url->host, url->port}, follow);
+          }
+        }
+      }
+    });
+  }
+
+  // Author thread: content churn re-parses links and dirties dependents
+  // while the same documents are being served and migrated.
+  threads.emplace_back([&]() {
+    Rng rng(4242);
+    int rev = 0;
+    while (!stop.load()) {
+      std::string body = "<a href=\"a.html\">a</a><p>rev" +
+                         std::to_string(++rev) + "</p>";
+      (void)home_.PutDocument(Doc("/b.html", body));
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+  });
+
+  // Chaos thread: bounce gamma so pinger failure counting, down-peer
+  // revocation, and best-effort stale serves all engage.
+  threads.emplace_back([&]() {
+    while (!stop.load()) {
+      network_.SetDown(coop2_.address(), true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      network_.SetDown(coop2_.address(), false);
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    }
+  });
+
+  // Introspection thread: the read-side of every table, plus the
+  // /~status admin page, raced against the writers above.
+  threads.emplace_back([&]() {
+    while (!stop.load()) {
+      (void)home_.counters();
+      (void)home_.ldg().GetStats();
+      (void)home_.ldg().SelectionSnapshot();
+      (void)home_.glt().Snapshot();
+      (void)coop1_.coop_table().Snapshot();
+      (void)coop1_.coop_table().HomeServers();
+      (void)home_.replica_table().Replicas("/i.gif");
+      http::Request status;
+      status.target = "/~status";
+      (void)network_.Execute(home_.address(), status);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (int t = 0; t < kClientThreads; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = kClientThreads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  // Liveness: every client call completed (the in-process transport
+  // never drops a request silently; 503s still produce responses), and
+  // the home server itself was never marked down.
+  EXPECT_EQ(responses.load() + transport_errors.load(),
+            kClientThreads * kRequestsPerClient);
+  EXPECT_EQ(transport_errors.load(), 0);
+
+  // Bookkeeping sanity: the home's request counter saw every client
+  // request that reached a worker (the introspection thread's /~status
+  // calls add more), and no category counter overshot it.  A lost
+  // counter update under the races above would break one of these.
+  core::Server::Counters c = home_.counters();
+  EXPECT_GE(c.requests, static_cast<uint64_t>(handled.load()));
+  EXPECT_LE(c.served_local + c.served_coop + c.redirects + c.not_found,
+            c.requests);
+}
+
+TEST_F(ClusterStressTest, MigrationAndRevocationUnderLoadConverge) {
+  // Saturate one hot document so migration triggers, then let the
+  // chaos-free cluster quiesce and verify the graph is still coherent.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        http::Request request;
+        request.target = "/i.gif";
+        auto response = network_.Execute(home_.address(), request);
+        if (response.ok() && response->status_code == 301) {
+          auto url = http::Url::Parse(std::string(
+              response->headers.Get("Location").value_or("")));
+          if (url.ok()) {
+            http::Request follow;
+            follow.target = url->path;
+            (void)network_.Execute({url->host, url->port}, follow);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Every record is either home or at a registered peer, and every
+  // migrated record's location resolves in the cluster.
+  for (const auto& record : home_.ldg().Snapshot()) {
+    if (record.location == home_.address()) continue;
+    EXPECT_TRUE(record.location == coop1_.address() ||
+                record.location == coop2_.address())
+        << record.name << " migrated to unknown server "
+        << record.location.ToString();
+    EXPECT_FALSE(record.entry_point)
+        << "entry point " << record.name << " must never migrate";
+  }
+}
+
+}  // namespace
+}  // namespace dcws

@@ -87,6 +87,47 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(v.size(), 1000u);
 }
 
+// Regression: the defaulted special members moved status_ and value_
+// independently, leaving a moved-from Result with an engaged value but a
+// gutted Status — ok() returned true on an object whose T was moved-out.
+TEST(ResultTest, MovedFromSourceReportsDefiniteError) {
+  Result<std::string> source = std::string("payload");
+  Result<std::string> dest(std::move(source));
+  ASSERT_TRUE(dest.ok());
+  EXPECT_EQ(dest.value(), "payload");
+  // NOLINTNEXTLINE(bugprone-use-after-move): deliberate — the moved-from
+  // state is exactly what this test pins down.
+  EXPECT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveAssignmentPreservesInvariantOnBothSides) {
+  Result<std::string> source = std::string("fresh");
+  Result<std::string> dest = Status::NotFound("stale");
+  dest = std::move(source);
+  ASSERT_TRUE(dest.ok());
+  EXPECT_EQ(dest.value(), "fresh");
+  // NOLINTNEXTLINE(bugprone-use-after-move): see above.
+  EXPECT_FALSE(source.ok());
+
+  // And the error-into-value direction: the old value must not linger.
+  Result<std::string> err = Status::NotFound("gone");
+  Result<std::string> val = std::string("soon overwritten");
+  val = std::move(err);
+  EXPECT_FALSE(val.ok());
+  EXPECT_EQ(val.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, CopyAssignmentLeavesSourceIntact) {
+  Result<std::string> source = std::string("shared");
+  Result<std::string> dest = Status::NotFound("overwritten");
+  dest = source;
+  ASSERT_TRUE(dest.ok());
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(dest.value(), "shared");
+  EXPECT_EQ(source.value(), "shared");
+}
+
 // ------------------------------------------------------------------- Rng
 
 TEST(RngTest, DeterministicForSeed) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the DCWS
+# sources against a compile_commands.json.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the script configures a scratch
+# one under build-tidy/ when none is given).  Exits non-zero on any
+# finding so CI can gate on it; exits 0 with a notice when clang-tidy is
+# not installed, so the script is safe to call from environments that
+# only carry the GCC toolchain.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found; skipping static analysis" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-}"
+shift || true
+if [ "${BUILD_DIR}" = "--" ]; then BUILD_DIR=""; fi
+if [ -z "${BUILD_DIR}" ]; then
+  BUILD_DIR=build-tidy
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null || exit 1
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 1
+fi
+
+# Library and test sources; generated/third-party code never appears
+# under src/ or tests/.
+mapfile -t FILES < <(git ls-files 'src/**/*.cc' 'tests/*.cc' \
+                       'tools/*.cc' 'examples/*.cc' 'bench/*.cc')
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f" || STATUS=1
+done
+exit $STATUS
