@@ -3,11 +3,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/server_params.h"
 #include "src/metrics/table_printer.h"
+#include "src/obs/export.h"
 #include "src/sim/experiment.h"
 #include "src/util/string_util.h"
 #include "src/workload/site.h"
@@ -50,6 +54,66 @@ inline MicroTime WarmupFor(const workload::SiteSpec& site) {
 inline std::string Mbps(double bytes_per_sec) {
   return metrics::TablePrinter::Num(bytes_per_sec / 1e6, 2) + " MB/s";
 }
+
+// --metrics-json PATH on a bench command line: dump every run's merged
+// cluster metric registry (obs::ExportJson schema) next to the
+// client-side totals it must reconcile with, so scripted consumers can
+// check served + redirected + dropped against what clients observed.
+// Returns "" when the flag is absent.
+inline std::string MetricsJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-json") return argv[i + 1];
+  }
+  return "";
+}
+
+// Collects one labeled entry per experiment and writes
+// {"runs":[{"label":..., "client_totals":{...},
+//           "snapshot":{"metrics":[...]}}, ...]} on Write().
+// A no-op when constructed with an empty path.
+class MetricsJsonWriter {
+ public:
+  explicit MetricsJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  void AddRun(const std::string& label,
+              const sim::ExperimentResult& result) {
+    if (path_.empty()) return;
+    const sim::ClientTotals& t = result.client_totals;
+    std::string entry = "{\"label\":\"" + label + "\",";
+    entry += "\"client_totals\":{";
+    entry += "\"connections\":" + std::to_string(t.connections) + ",";
+    entry += "\"ok\":" + std::to_string(t.ok) + ",";
+    entry += "\"redirects\":" + std::to_string(t.redirects) + ",";
+    entry += "\"drops\":" + std::to_string(t.drops) + ",";
+    entry += "\"failures\":" + std::to_string(t.failures) + ",";
+    entry += "\"bytes\":" + std::to_string(t.bytes) + "},";
+    entry += "\"snapshot\":" + obs::ExportJson(result.metrics) + "}";
+    runs_.push_back(std::move(entry));
+  }
+
+  // Writes the collected runs; prints the destination so a user sees
+  // where the dump landed.  Safe to call with no runs (empty array).
+  void Write() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "{\"runs\":[";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n" << runs_[i];
+    }
+    out << "\n]}\n";
+    std::printf("wrote metrics JSON: %s (%zu runs)\n", path_.c_str(),
+                runs_.size());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> runs_;
+};
 
 }  // namespace dcws::bench
 

@@ -16,9 +16,10 @@
 namespace dcws {
 namespace {
 
-void Run() {
+void Run(const std::string& metrics_json) {
   bench::PrintHeader(
       "Figure 6: DCWS performance, LOD dataset, increasing clients");
+  bench::MetricsJsonWriter metrics_writer(metrics_json);
   core::ServerParams params = bench::PaperParams();
   bench::PrintTable1(params);
 
@@ -59,6 +60,9 @@ void Run() {
       config.warmup = bench::WarmupFor(site);
       config.measure = bench::FastMode() ? Seconds(10) : Seconds(20);
       sim::ExperimentResult result = sim::RunExperiment(site, config);
+      metrics_writer.AddRun("servers=" + std::to_string(servers) +
+                                " clients=" + std::to_string(clients),
+                            result);
       bps_row.push_back(metrics::TablePrinter::Num(result.bps / 1e6, 2));
       cps_row.push_back(metrics::TablePrinter::Num(result.cps, 0));
       std::fflush(stdout);
@@ -76,12 +80,13 @@ void Run() {
       "16 servers peak ~39.4 MB/s / ~15150 CPS. Expect matching shape\n"
       "(linear rise, plateau past saturation, ~2x peak per doubling),\n"
       "not matching absolute numbers.\n");
+  metrics_writer.Write();
 }
 
 }  // namespace
 }  // namespace dcws
 
-int main() {
-  dcws::Run();
+int main(int argc, char** argv) {
+  dcws::Run(dcws::bench::MetricsJsonPath(argc, argv));
   return 0;
 }

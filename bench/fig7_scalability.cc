@@ -20,9 +20,10 @@ struct Cell {
   double bps = 0;
 };
 
-void Run() {
+void Run(const std::string& metrics_json) {
   bench::PrintHeader(
       "Figure 7: peak performance vs number of cooperating servers");
+  bench::MetricsJsonWriter metrics_writer(metrics_json);
   core::ServerParams params = bench::PaperParams();
 
   std::vector<int> server_counts = {1, 2, 4, 8, 16};
@@ -51,6 +52,10 @@ void Run() {
       config.warmup = bench::WarmupFor(site);
       config.measure = bench::FastMode() ? Seconds(10) : Seconds(30);
       sim::ExperimentResult result = sim::RunExperiment(site, config);
+      metrics_writer.AddRun(
+          std::string(workload::DatasetName(datasets[d])) +
+              " servers=" + std::to_string(servers),
+          result);
       grid[d][s] = Cell{result.cps, result.bps};
       std::fflush(stdout);
     }
@@ -91,12 +96,13 @@ void Run() {
       "size); CPS in reverse.  LOD & Sequoia scale ~linearly to 16\n"
       "servers; SBLog & MAPUG flatten (hot-spot images saturate one\n"
       "co-op; SBLog gained only ~5-7%% from 8 to 16 servers).\n");
+  metrics_writer.Write();
 }
 
 }  // namespace
 }  // namespace dcws
 
-int main() {
-  dcws::Run();
+int main(int argc, char** argv) {
+  dcws::Run(dcws::bench::MetricsJsonPath(argc, argv));
   return 0;
 }

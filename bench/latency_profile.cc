@@ -12,10 +12,11 @@
 namespace dcws {
 namespace {
 
-void Run() {
+void Run(const std::string& metrics_json) {
   bench::PrintHeader(
       "Client response time vs offered load (LOD) — the metric the "
       "paper could not measure");
+  bench::MetricsJsonWriter metrics_writer(metrics_json);
 
   Rng rng(42);
   workload::SiteSpec site = workload::BuildLod(rng);
@@ -40,6 +41,9 @@ void Run() {
       config.warmup = bench::WarmupFor(site);
       config.measure = bench::FastMode() ? Seconds(10) : Seconds(20);
       sim::ExperimentResult r = sim::RunExperiment(site, config);
+      metrics_writer.AddRun("servers=" + std::to_string(servers) +
+                                " clients=" + std::to_string(clients),
+                            r);
       table.AddRow({std::to_string(servers), std::to_string(clients),
                     metrics::TablePrinter::Num(r.cps, 0),
                     metrics::TablePrinter::Num(r.latency_ms.p50, 1),
@@ -54,12 +58,13 @@ void Run() {
       "\nExpected: low and flat until the cluster saturates, then the\n"
       "socket queue dominates (~queue_depth x service time); with 8\n"
       "servers the knee moves to ~8x the client count.\n");
+  metrics_writer.Write();
 }
 
 }  // namespace
 }  // namespace dcws
 
-int main() {
-  dcws::Run();
+int main(int argc, char** argv) {
+  dcws::Run(dcws::bench::MetricsJsonPath(argc, argv));
   return 0;
 }

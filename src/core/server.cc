@@ -8,6 +8,7 @@
 #include "src/html/rewriter.h"
 #include "src/http/url.h"
 #include "src/load/piggyback.h"
+#include "src/obs/export.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -18,6 +19,23 @@ namespace {
 constexpr std::string_view kPingTarget = "/~ping";
 constexpr std::string_view kStatusTarget = "/~status";
 constexpr std::string_view kRevokePrefix = "/~revoke/";
+constexpr std::string_view kDcwsStatusTarget = "/.dcws/status";
+constexpr std::string_view kDcwsTracesTarget = "/.dcws/traces";
+
+// Value of `key` in a raw query string ("format=json&x=1"), or "".
+std::string QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+  }
+  return "";
+}
 
 // Rebuilds the ~migrate form of a /~revoke/... target so both paths share
 // one decoder.
@@ -63,8 +81,73 @@ Server::Server(http::ServerAddress self, ServerParams params,
                        params.remigrate_interval, params.selection,
                        params.imbalance_factor, params.min_load_cps,
                        params.revoke_imbalance_factor}),
-      rate_window_(params.load_window) {
+      rate_window_(params.load_window),
+      trace_ids_(obs::SeedFromName(self_.ToString())),
+      recent_traces_(static_cast<size_t>(params.trace_ring_capacity)),
+      slow_traces_(static_cast<size_t>(params.trace_ring_capacity)) {
   glt_.RegisterPeer(self_);
+  InitMetrics();
+}
+
+void Server::InitMetrics() {
+  auto outcome = [this](const char* o) {
+    return registry_.GetCounter("dcws_requests_total", {{"outcome", o}});
+  };
+  // Request outcomes as the CLIENT sees them: every connection a client
+  // opened lands in exactly one outcome, so the family sums to offered
+  // load (queue drops are fed in by the transport via CountQueueDrop).
+  ctr_served_local_ = outcome("served_local");
+  ctr_served_coop_ = outcome("served_coop");
+  ctr_redirects_ = outcome("redirect");
+  ctr_not_found_ = outcome("not_found");
+  ctr_overloaded_ = outcome("overloaded");
+  ctr_queue_drops_ = outcome("dropped");
+  ctr_client_requests_ =
+      registry_.GetCounter("dcws_client_requests_total");
+  ctr_internal_requests_ =
+      registry_.GetCounter("dcws_internal_requests_total");
+  ctr_stale_serves_ = registry_.GetCounter("dcws_stale_serves_total");
+  ctr_not_modified_ = registry_.GetCounter("dcws_not_modified_total");
+  ctr_regenerations_ = registry_.GetCounter("dcws_regenerations_total");
+  ctr_coop_fetches_ = registry_.GetCounter("dcws_coop_fetches_total");
+  ctr_migrations_out_ = registry_.GetCounter("dcws_migrations_total",
+                                             {{"direction", "out"}});
+  ctr_migrations_in_ = registry_.GetCounter("dcws_migrations_total",
+                                            {{"direction", "in"}});
+  ctr_revocations_ = registry_.GetCounter("dcws_revocations_total");
+  ctr_replicas_added_ = registry_.GetCounter("dcws_replicas_total");
+  ctr_pings_sent_ = registry_.GetCounter("dcws_pings_total");
+  ctr_piggyback_absorbs_ =
+      registry_.GetCounter("dcws_piggyback_absorbs_total");
+  hist_latency_client_ = registry_.GetHistogram(
+      "dcws_request_latency_us", {{"kind", "client"}});
+  hist_latency_internal_ = registry_.GetHistogram(
+      "dcws_request_latency_us", {{"kind", "internal"}});
+  hist_html_parse_ = registry_.GetHistogram("dcws_html_parse_us");
+  hist_html_reconstruct_ =
+      registry_.GetHistogram("dcws_html_reconstruct_us");
+
+  // Table sizes and load read live at scrape time; the callbacks run on
+  // the exporting thread against internally-synchronized structures.
+  registry_.AddCallbackGauge("dcws_documents", {}, [this] {
+    return static_cast<double>(ldg_.GetStats().documents);
+  });
+  registry_.AddCallbackGauge("dcws_migrated_documents", {}, [this] {
+    return static_cast<double>(ldg_.GetStats().migrated);
+  });
+  registry_.AddCallbackGauge("dcws_dirty_documents", {}, [this] {
+    return static_cast<double>(ldg_.GetStats().dirty);
+  });
+  registry_.AddCallbackGauge("dcws_coop_hosted_documents", {}, [this] {
+    return static_cast<double>(coop_table_.size());
+  });
+  registry_.AddCallbackGauge("dcws_glt_peers", {}, [this] {
+    return static_cast<double>(glt_.Snapshot().size());
+  });
+  registry_.AddCallbackGauge("dcws_load_cps", {},
+                             [this] { return LoadMetric(); });
+  registry_.AddCallbackGauge("dcws_load_bps", {},
+                             [this] { return BytesMetric(); });
 }
 
 Status Server::LoadSite(const std::vector<storage::Document>& documents,
@@ -117,20 +200,69 @@ http::Response Server::HandleRequest(const http::Request& request,
   bool internal = request.headers.Has(http::kHeaderDcwsInternal);
   trace->internal = internal;
 
-  std::string target = http::NormalizePath(request.target);
+  // Trace identity: adopt a peer's id from X-DCWS-Trace so both halves
+  // of a cooperative request share one span tree; mint one otherwise.
+  bool propagated = false;
+  if (auto header = request.headers.Get(http::kHeaderDcwsTrace)) {
+    if (auto parsed = obs::ParseTraceId(*header)) {
+      trace->trace_id = *parsed;
+      propagated = true;
+    }
+  }
+  if (trace->trace_id == 0) trace->trace_id = trace_ids_.Next();
+
+  // Root the trace where the transport first saw the request, not where
+  // a worker picked it up.
+  MicroTime handle_start = clock_->Now();
+  MicroTime root_start =
+      handle_start - trace->queue_wait - trace->parse_micros;
+  obs::TraceBuilder builder(trace->trace_id,
+                            request.method + " " + request.target,
+                            self_.ToString(), root_start);
+  builder.set_internal(internal);
+  builder.set_propagated(propagated);
+  if (trace->queue_wait > 0) {
+    builder.AddCompletedSpan("accept_wait", root_start,
+                             root_start + trace->queue_wait);
+  }
+  if (trace->parse_micros > 0) {
+    builder.AddCompletedSpan("parse", root_start + trace->queue_wait,
+                             handle_start);
+  }
+  trace->spans = &builder;
+
+  // Split any query string off before path normalization; only the
+  // introspection endpoints interpret it.
+  std::string raw_target = request.target;
+  std::string query;
+  if (size_t mark = raw_target.find('?'); mark != std::string::npos) {
+    query = raw_target.substr(mark + 1);
+    raw_target.resize(mark);
+  }
+  std::string target = http::NormalizePath(raw_target);
 
   bool is_head = request.method == "HEAD";
+  bool admin = target == kPingTarget || target == kStatusTarget ||
+               target == kDcwsStatusTarget ||
+               target == kDcwsTracesTarget;
 
   http::Response response;
   if (target == kPingTarget) {
     response = HandlePing();
   } else if (target == kStatusTarget) {
     response = HandleStatus();
+  } else if (target == kDcwsStatusTarget) {
+    response = HandleDcwsStatus(query);
+  } else if (target == kDcwsTracesTarget) {
+    response = HandleDcwsTraces(query);
   } else if (StartsWith(target, kRevokePrefix)) {
+    obs::ScopedSpan span(&builder, clock_, "revoke");
     response = HandleRevoke(target);
   } else if (migrate::IsMigratedTarget(target)) {
+    obs::ScopedSpan span(&builder, clock_, "migrated");
     response = HandleMigratedRequest(request, target, peers, trace);
   } else {
+    obs::ScopedSpan span(&builder, clock_, "local");
     response = HandleLocalRequest(request, target, internal, trace);
   }
 
@@ -145,10 +277,7 @@ http::Response Server::HandleRequest(const http::Request& request,
     AttachPiggyback(response.headers);
   }
   if (!internal) {
-    {
-      MutexLock lock(counter_mutex_);
-      counters_.requests += 1;
-    }
+    ctr_client_requests_->Increment();
     MutexLock log_lock(log_mutex_);
     if (access_log_) {
       // Common Log Format; the transport knows the remote address, this
@@ -167,14 +296,32 @@ http::Response Server::HandleRequest(const http::Request& request,
       access_log_(std::move(line).str());
     }
   }
+
+  // Close the span tree and account latency.  Introspection/admin hits
+  // are excluded so the rings and histograms reflect site traffic.
+  trace->spans = nullptr;
+  MicroTime end = clock_->Now();
+  DCWS_LOG(kDebug) << self_.ToString() << " " << request.method << " "
+                   << request.target << " -> " << response.status_code
+                   << " (" << (end - root_start) << "us, trace "
+                   << obs::FormatTraceId(builder.id()) << ")";
+  if (!admin) {
+    obs::Trace done = builder.Finish(end, response.status_code);
+    uint64_t latency = static_cast<uint64_t>(end - root_start);
+    (internal ? hist_latency_internal_ : hist_latency_client_)
+        ->Observe(latency);
+    if (end - root_start >= params_.slow_trace_threshold) {
+      slow_traces_.Add(done);
+    }
+    recent_traces_.Add(std::move(done));
+  }
   return response;
 }
 
+void Server::CountQueueDrop() { ctr_queue_drops_->Increment(); }
+
 http::Response Server::HandlePing() {
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.internal_requests += 1;
-  }
+  ctr_internal_requests_->Increment();
   http::Response r;
   r.status_code = 200;
   return r;
@@ -216,11 +363,47 @@ http::Response Server::HandleStatus() {
   return http::MakeOkResponse(std::move(out).str(), "text/plain");
 }
 
-http::Response Server::HandleRevoke(const std::string& target) {
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.internal_requests += 1;
+http::Response Server::HandleDcwsStatus(const std::string& query) {
+  std::string format = QueryParam(query, "format");
+  std::vector<obs::MetricSnapshot> snapshot = registry_.Snapshot();
+  if (format == "json") {
+    return http::MakeOkResponse(obs::ExportJson(snapshot),
+                                "application/json");
   }
+  if (format == "prometheus") {
+    // The server label distinguishes series when one scraper collects
+    // the whole cluster.
+    return http::MakeOkResponse(
+        obs::ExportPrometheus(snapshot, {{"server", self_.ToString()}}),
+        "text/plain");
+  }
+  return http::MakeOkResponse(obs::ExportText(snapshot), "text/plain");
+}
+
+http::Response Server::HandleDcwsTraces(const std::string& query) {
+  std::string format = QueryParam(query, "format");
+  std::vector<obs::Trace> recent = recent_traces_.Snapshot();
+  std::vector<obs::Trace> slow = slow_traces_.Snapshot();
+  if (format == "json") {
+    return http::MakeOkResponse(obs::FormatTracesJson(recent, slow),
+                                "application/json");
+  }
+  std::string out = "recent traces (" + std::to_string(recent.size()) +
+                    " of " + std::to_string(recent_traces_.total_added()) +
+                    "):\n";
+  for (const obs::Trace& trace : recent) {
+    out += obs::FormatTraceText(trace);
+  }
+  out += "slow traces (>= " +
+         std::to_string(params_.slow_trace_threshold) + "us):\n";
+  for (const obs::Trace& trace : slow) {
+    out += obs::FormatTraceText(trace);
+  }
+  return http::MakeOkResponse(std::move(out), "text/plain");
+}
+
+http::Response Server::HandleRevoke(const std::string& target) {
+  ctr_internal_requests_->Increment();
   std::string migrate_target = RevokeToMigrateTarget(target);
   auto decoded = migrate::DecodeMigratedTarget(migrate_target);
   if (!decoded.ok()) {
@@ -242,8 +425,7 @@ http::Response Server::HandleMigratedRequest(const http::Request& request,
   (void)request;
   auto decoded = migrate::DecodeMigratedTarget(target);
   if (!decoded.ok()) {
-    MutexLock lock(counter_mutex_);
-    counters_.not_found += 1;
+    ctr_not_found_->Increment();
     CountConnection(0);
     return http::MakeNotFoundResponse(target);
   }
@@ -253,8 +435,7 @@ http::Response Server::HandleMigratedRequest(const http::Request& request,
     // A stale ~migrate link naming US as home: the document lives (again)
     // at its plain URL here; redirect the client to it.
     CountConnection(0);
-    MutexLock lock(counter_mutex_);
-    counters_.redirects += 1;
+    ctr_redirects_->Increment();
     return http::MakeRedirectResponse("http://" + self_.ToString() +
                                       name.doc_path);
   }
@@ -272,19 +453,16 @@ http::Response Server::HandleMigratedRequest(const http::Request& request,
   auto doc = store_.Get(target);
   if (!doc.ok()) {
     // Never fetched and the home server is unreachable.
+    ctr_overloaded_->Increment();
     CountConnection(0);
     return http::MakeOverloadedResponse();
   }
   if (fetch_failed) {
     // The home server is unreachable but we hold (possibly stale) bytes:
     // best-effort serve (§4.5).
-    MutexLock lock(counter_mutex_);
-    counters_.stale_serves += 1;
+    ctr_stale_serves_->Increment();
   }
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.served_coop += 1;
-  }
+  ctr_served_coop_->Increment();
   CountConnection(doc->size());
   return http::MakeOkResponse(std::move(doc->content),
                               doc->content_type);
@@ -299,12 +477,12 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
     name = params_.index_path;
   }
 
-  auto record = ldg_.Brief(name);
+  Result<graph::LocalDocumentGraph::RecordBrief> record = [&] {
+    obs::ScopedSpan span(trace->spans, clock_, "ldg_lookup");
+    return ldg_.Brief(name);
+  }();
   if (!record.ok()) {
-    {
-      MutexLock lock(counter_mutex_);
-      counters_.not_found += 1;
-    }
+    ctr_not_found_->Increment();
     if (!internal) CountConnection(0);
     return http::MakeNotFoundResponse(name);
   }
@@ -313,10 +491,8 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
     // Server-to-server fetch (physical migration or validation): serve
     // the authoritative copy rendered position-independent, regardless
     // of where the document is currently assigned.
-    {
-      MutexLock lock(counter_mutex_);
-      counters_.internal_requests += 1;
-    }
+    ctr_internal_requests_->Increment();
+    obs::ScopedSpan span(trace->spans, clock_, "render_transfer");
     auto rendered = RenderForTransfer(name);
     if (!rendered.ok()) {
       return http::MakeNotFoundResponse(name);
@@ -328,10 +504,7 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
         if_none_match.has_value() && *if_none_match == etag) {
       // The co-op already holds this exact rendering: 304 saves the
       // retransmission (T_val trade-off, Table 2).
-      {
-        MutexLock lock(counter_mutex_);
-        counters_.not_modified += 1;
-      }
+      ctr_not_modified_->Increment();
       http::Response not_modified;
       not_modified.status_code = 304;
       not_modified.headers.Set(std::string(http::kHeaderEtag),
@@ -349,10 +522,7 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
 
   if (!(record->location == self_)) {
     // Migrated: burdenless 301 from the local document graph (§4.4).
-    {
-      MutexLock lock(counter_mutex_);
-      counters_.redirects += 1;
-    }
+    ctr_redirects_->Increment();
     CountConnection(0);
     return http::MakeRedirectResponse(LinkUrlFor(name, record->location));
   }
@@ -360,6 +530,7 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
   ldg_.RecordHit(name);
   std::string content;
   if (record->dirty && record->is_html) {
+    obs::ScopedSpan span(trace->spans, clock_, "rewrite");
     auto regenerated = RegenerateDocument(name);
     if (regenerated.ok()) {
       content = std::move(regenerated).value();
@@ -368,16 +539,12 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
   }
   auto doc = store_.Get(name);
   if (!doc.ok()) {
-    MutexLock lock(counter_mutex_);
-    counters_.not_found += 1;
+    ctr_not_found_->Increment();
     CountConnection(0);
     return http::MakeNotFoundResponse(name);
   }
   if (content.empty()) content = std::move(doc->content);
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.served_local += 1;
-  }
+  ctr_served_local_->Increment();
   CountConnection(content.size());
   return http::MakeOkResponse(std::move(content), doc->content_type);
 }
@@ -385,12 +552,21 @@ http::Response Server::HandleLocalRequest(const http::Request& request,
 bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
                            const migrate::MigratedName& name,
                            RequestTrace* trace) {
+  obs::ScopedSpan span(trace == nullptr ? nullptr : trace->spans, clock_,
+                       "coop_fetch");
+  span.Annotate("home=" + name.home.ToString());
   http::Request fetch;
   fetch.method = "GET";
   fetch.target = name.doc_path;
   fetch.headers.Set(std::string(http::kHeaderHost),
                     name.home.ToString());
   fetch.headers.Set(std::string(http::kHeaderDcwsInternal), "fetch");
+  if (trace != nullptr && trace->trace_id != 0) {
+    // Propagate the client request's trace id so the home server's span
+    // tree for this fetch carries the same id as ours.
+    fetch.headers.Set(std::string(http::kHeaderDcwsTrace),
+                      obs::FormatTraceId(trace->trace_id));
+  }
   if (params_.conditional_validation) {
     if (auto held = store_.Get(target); held.ok()) {
       fetch.headers.Set(std::string(http::kHeaderIfNoneMatch),
@@ -403,8 +579,7 @@ bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
   if (response.ok() && response->status_code == 304) {
     // Our copy is current: revalidated without retransmission.
     coop_table_.MarkFetched(target, clock_->Now());
-    MutexLock lock(counter_mutex_);
-    counters_.not_modified += 1;
+    ctr_not_modified_->Increment();
     return true;
   }
   bool ok = response.ok() && response->status_code == 200;
@@ -422,12 +597,12 @@ bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
     doc.content_type = storage::GuessContentType(name.doc_path);
   }
   uint64_t bytes = doc.size();
+  // First physical arrival of this document = an inbound migration;
+  // later fetches are validation refreshes.
+  if (!store_.Contains(target)) ctr_migrations_in_->Increment();
   store_.Put(std::move(doc));
   coop_table_.MarkFetched(target, clock_->Now());
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.coop_fetches += 1;
-  }
+  ctr_coop_fetches_->Increment();
   if (trace != nullptr) {
     trace->coop_fetch = true;
     trace->fetch_bytes += bytes;
@@ -508,14 +683,13 @@ Result<std::string> Server::RegenerateDocument(const std::string& path) {
         return url;
       });
 
+  hist_html_parse_->Observe(rewritten.parse_micros);
+  hist_html_reconstruct_->Observe(rewritten.reconstruct_micros);
   doc.content = std::move(rewritten.html);
   std::string result = doc.content;
   store_.Put(std::move(doc));
   DCWS_RETURN_IF_ERROR(ldg_.SetDirty(path, false));
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.regenerations += 1;
-  }
+  ctr_regenerations_->Increment();
   return result;
 }
 
@@ -551,10 +725,9 @@ Result<std::string> Server::RenderForTransfer(const std::string& path) {
         chosen.emplace(*name, url);
         return url;
       });
-  {
-    MutexLock lock(counter_mutex_);
-    counters_.regenerations += 1;
-  }
+  hist_html_parse_->Observe(rewritten.parse_micros);
+  hist_html_reconstruct_->Observe(rewritten.reconstruct_micros);
+  ctr_regenerations_->Increment();
   return std::move(rewritten.html);
 }
 
@@ -571,6 +744,7 @@ void Server::AbsorbPiggyback(const http::HeaderMap& headers) {
   auto sender = load::AbsorbLoadInfo(headers, clock_->Now(), glt_);
   if (sender.has_value()) {
     pinger_.RecordProbeResult(*sender, true);
+    ctr_piggyback_absorbs_->Increment();
   }
 }
 
@@ -650,10 +824,7 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
     if (!ldg_.SetLocation(doc, self_).ok()) continue;
     home_policy_.RecordRevocation(doc);
     replica_table_.Clear(doc);
-    {
-      MutexLock lock(counter_mutex_);
-      counters_.revocations += 1;
-    }
+    ctr_revocations_->Increment();
     // Tell the (reachable) holders; best effort.
     for (const http::ServerAddress& holder : holders) {
       if (std::find(down.begin(), down.end(), holder) != down.end()) {
@@ -680,8 +851,7 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
   if (decision.has_value()) {
     if (ldg_.SetLocation(decision->doc, decision->target).ok()) {
       home_policy_.RecordMigration(*decision, now);
-      MutexLock lock(counter_mutex_);
-      counters_.migrations += 1;
+      ctr_migrations_out_->Increment();
       DCWS_LOG(kInfo) << self_.ToString() << " migrates "
                       << decision->doc << " -> "
                       << decision->target.ToString();
@@ -749,10 +919,7 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
         // NotFound only if the record vanished since the snapshot;
         // dependents then have nothing to regenerate anyway.
         (void)ldg_.TouchLinkFrom(hottest->name);
-        {
-          MutexLock lock(counter_mutex_);
-          counters_.replicas_added += 1;
-        }
+        ctr_replicas_added_->Increment();
         DCWS_LOG(kInfo) << self_.ToString() << " replicates "
                         << hottest->name << " -> "
                         << candidate.server.ToString();
@@ -780,8 +947,7 @@ void Server::RunPinger(PeerClient* peers, MicroTime now) {
     ping.headers.Set(std::string(http::kHeaderDcwsInternal), "ping");
     auto response = InternalCall(peers, peer, std::move(ping));
     pinger_.RecordProbeResult(peer, response.ok());
-    MutexLock lock(counter_mutex_);
-    counters_.pings_sent += 1;
+    ctr_pings_sent_->Increment();
   }
 }
 
@@ -805,8 +971,23 @@ double Server::BytesMetric() const {
 }
 
 Server::Counters Server::counters() const {
-  MutexLock lock(counter_mutex_);
-  return counters_;
+  // Legacy aggregate view, now a read of the registry handles.
+  Counters c;
+  c.requests = ctr_client_requests_->Value();
+  c.served_local = ctr_served_local_->Value();
+  c.served_coop = ctr_served_coop_->Value();
+  c.redirects = ctr_redirects_->Value();
+  c.not_found = ctr_not_found_->Value();
+  c.regenerations = ctr_regenerations_->Value();
+  c.coop_fetches = ctr_coop_fetches_->Value();
+  c.migrations = ctr_migrations_out_->Value();
+  c.revocations = ctr_revocations_->Value();
+  c.replicas_added = ctr_replicas_added_->Value();
+  c.pings_sent = ctr_pings_sent_->Value();
+  c.internal_requests = ctr_internal_requests_->Value();
+  c.stale_serves = ctr_stale_serves_->Value();
+  c.not_modified = ctr_not_modified_->Value();
+  return c;
 }
 
 }  // namespace dcws::core

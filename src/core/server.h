@@ -19,6 +19,8 @@
 #include "src/migrate/home_policy.h"
 #include "src/migrate/naming.h"
 #include "src/migrate/replication.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/document_store.h"
 #include "src/util/clock.h"
 #include "src/util/mutex.h"
@@ -41,11 +43,26 @@ class PeerClient {
 };
 
 // Per-request annotations for transports/simulators that model costs.
+// The first block is written by the server for the transport to read;
+// the second block is filled IN by the transport before HandleRequest so
+// the span tree covers time spent before the worker picked the request
+// up (socket-queue wait, wire parsing).
 struct RequestTrace {
   bool regenerated = false;    // HTML parse + reconstruction happened
   bool coop_fetch = false;     // a synchronous home-server fetch happened
   uint64_t fetch_bytes = 0;    // bytes pulled from the home server
   bool internal = false;       // server-to-server request
+  obs::TraceId trace_id = 0;   // id assigned (or propagated) for this
+                               // request; 0 until HandleRequest runs
+
+  // Transport inputs (both default to 0 — unknown / not modelled).
+  MicroTime queue_wait = 0;    // accept-to-dispatch wait
+  MicroTime parse_micros = 0;  // wire framing + parse cost
+
+  // Set by HandleRequest for its own helpers (FetchFromHome adds the
+  // co-op span here); points at a stack-local builder and is nulled
+  // before HandleRequest returns.  Not for transport use.
+  obs::TraceBuilder* spans = nullptr;
 };
 
 // One DCWS server process: front end, worker logic, statistics module and
@@ -76,6 +93,11 @@ class Server {
                                PeerClient* peers,
                                RequestTrace* trace = nullptr);
 
+  // Called by transports when they shed a connection with 503 BEFORE it
+  // reaches HandleRequest (socket queue full), so the registry's
+  // request-outcome counters still add up to what clients observed.
+  void CountQueueDrop();
+
   // ---- periodic duties (statistics + pinger thread) ----
   // Runs any duties that have come due: statistics recalculation and
   // migration decisions every T_st, co-op validation sweeps, pinger
@@ -101,11 +123,19 @@ class Server {
   // ---- introspection ----
   const http::ServerAddress& address() const { return self_; }
   const ServerParams& params() const { return params_; }
+  const Clock* clock() const { return clock_; }
   graph::LocalDocumentGraph& ldg() { return ldg_; }
   load::GlobalLoadTable& glt() { return glt_; }
   storage::DocumentStore& store() { return store_; }
   migrate::CoopHostTable& coop_table() { return coop_table_; }
   migrate::ReplicaTable& replica_table() { return replica_table_; }
+  // The server's metric registry (counters, gauges, latency histograms;
+  // schema in DESIGN.md "Observability").  Also rendered live at
+  // GET /.dcws/status?format=text|json|prometheus.
+  const obs::Registry& metrics() const { return registry_; }
+  // Recent/slow completed request traces (GET /.dcws/traces).
+  const obs::TraceRing& recent_traces() const { return recent_traces_; }
+  const obs::TraceRing& slow_traces() const { return slow_traces_; }
 
   // Current load metric (CPS over the load window) as the statistics
   // module computes it.
@@ -144,6 +174,11 @@ class Server {
   // Plain-text operational snapshot served at /~status (admin surface:
   // counters, graph statistics, the GLT view).
   http::Response HandleStatus();
+  // Live introspection endpoints.  `query` is the raw query string
+  // (?format=text|json|prometheus); they work over every transport
+  // because routing happens here, above the transport layer.
+  http::Response HandleDcwsStatus(const std::string& query);
+  http::Response HandleDcwsTraces(const std::string& query);
 
   // Regenerates a dirty document in place: rewrites hyperlinks whose
   // targets migrated (or gained replicas) to their current URLs, writes
@@ -196,13 +231,21 @@ class Server {
 
   void CountConnection(uint64_t bytes);
 
+  // Creates every instrument handle up front (ctor) so a scrape of a
+  // fresh server already lists the full schema at zero, and the hot path
+  // only ever touches pre-resolved atomic handles.
+  void InitMetrics();
+
   // Concurrency map (see DESIGN.md "Concurrency model & checking"):
   // self_/clock_ are immutable after construction; store_, ldg_, glt_,
   // coop_table_, replica_table_ and pinger_ are internally synchronized
-  // (each owns an annotated lock); everything below is guarded by one of
-  // the four Server mutexes.  params_ is written only by SetPacing
-  // (stats_interval, under duty_mutex_) and read for that field only
-  // under duty_mutex_; all other fields are set-once configuration.
+  // (each owns an annotated lock); registry_ and the trace rings are
+  // internally synchronized, and the instrument handles below them are
+  // set-once pointers to relaxed atomics (lock-free hot path);
+  // everything else below is guarded by one of the three Server mutexes.
+  // params_ is written only by SetPacing (stats_interval, under
+  // duty_mutex_) and read for that field only under duty_mutex_; all
+  // other fields are set-once configuration.
   http::ServerAddress self_;
   ServerParams params_;
   const Clock* clock_;
@@ -226,8 +269,36 @@ class Server {
   mutable Mutex window_mutex_;
   metrics::RateWindow rate_window_ DCWS_GUARDED_BY(window_mutex_);
 
-  mutable Mutex counter_mutex_;
-  Counters counters_ DCWS_GUARDED_BY(counter_mutex_);
+  // Observability.  Handles are created once by InitMetrics (ctor) and
+  // never change; increments are relaxed atomics, so the request path
+  // takes no lock for counting.
+  obs::Registry registry_;
+  obs::TraceIdGenerator trace_ids_;
+  obs::TraceRing recent_traces_;
+  obs::TraceRing slow_traces_;
+
+  obs::Counter* ctr_client_requests_ = nullptr;
+  obs::Counter* ctr_served_local_ = nullptr;
+  obs::Counter* ctr_served_coop_ = nullptr;
+  obs::Counter* ctr_redirects_ = nullptr;
+  obs::Counter* ctr_not_found_ = nullptr;
+  obs::Counter* ctr_overloaded_ = nullptr;
+  obs::Counter* ctr_queue_drops_ = nullptr;
+  obs::Counter* ctr_internal_requests_ = nullptr;
+  obs::Counter* ctr_stale_serves_ = nullptr;
+  obs::Counter* ctr_not_modified_ = nullptr;
+  obs::Counter* ctr_regenerations_ = nullptr;
+  obs::Counter* ctr_coop_fetches_ = nullptr;
+  obs::Counter* ctr_migrations_out_ = nullptr;
+  obs::Counter* ctr_migrations_in_ = nullptr;
+  obs::Counter* ctr_revocations_ = nullptr;
+  obs::Counter* ctr_replicas_added_ = nullptr;
+  obs::Counter* ctr_pings_sent_ = nullptr;
+  obs::Counter* ctr_piggyback_absorbs_ = nullptr;
+  obs::Histogram* hist_latency_client_ = nullptr;
+  obs::Histogram* hist_latency_internal_ = nullptr;
+  obs::Histogram* hist_html_parse_ = nullptr;
+  obs::Histogram* hist_html_reconstruct_ = nullptr;
 
   mutable Mutex log_mutex_;
   std::function<void(const std::string&)> access_log_

@@ -53,6 +53,13 @@ struct ServerParams {
 
   // Requests for "/" map to this document when it exists.
   std::string index_path = "/index.html";
+
+  // ---- observability ----
+  // Completed requests slower than this are captured in the slow-trace
+  // ring (served at GET /.dcws/traces alongside the recent ring).
+  MicroTime slow_trace_threshold = 50 * kMicrosPerMilli;
+  // Capacity of each trace ring (recent and slow).
+  int trace_ring_capacity = 64;
 };
 
 // Prints the Table-1 block in the paper's format (used by bench headers).

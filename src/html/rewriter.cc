@@ -1,16 +1,30 @@
 #include "src/html/rewriter.h"
 
+#include <chrono>
 #include <vector>
 
 namespace dcws::html {
 
+namespace {
+
+uint64_t ProcessMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 RewriteResult RewriteLinks(std::string_view document_html,
                            std::string_view base_path,
                            const LinkMapper& mapper) {
+  uint64_t parse_start = ProcessMicros();
   std::vector<Token> tokens = Tokenize(document_html);
   std::vector<LinkOccurrence> links = ExtractLinks(tokens, base_path);
 
   RewriteResult result;
+  result.parse_micros = ProcessMicros() - parse_start;
   result.links_seen = links.size();
 
   std::vector<char> modified(tokens.size(), 0);
@@ -27,10 +41,12 @@ RewriteResult RewriteLinks(std::string_view document_html,
     ++result.links_rewritten;
   }
 
+  uint64_t reconstruct_start = ProcessMicros();
   for (size_t i = 0; i < tokens.size(); ++i) {
     if (modified[i]) tokens[i].raw = tokens[i].Regenerate();
   }
   result.html = SerializeTokens(tokens);
+  result.reconstruct_micros = ProcessMicros() - reconstruct_start;
   return result;
 }
 

@@ -21,6 +21,11 @@ struct RewriteResult {
   std::string html;       // document with substituted links
   size_t links_seen = 0;  // total link occurrences inspected
   size_t links_rewritten = 0;
+  // Wall-clock cost of the two phases the paper prices in §4.3 —
+  // measured with the process clock (not the simulated clock), since
+  // this is real CPU spent either way.  Observability only.
+  uint64_t parse_micros = 0;        // tokenize + link extraction
+  uint64_t reconstruct_micros = 0;  // regenerate + serialize
 };
 
 // The paper's "document parsing and reconstruction" (§4.3): parse the

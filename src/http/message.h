@@ -50,6 +50,11 @@ inline constexpr std::string_view kHeaderDcwsServer = "X-DCWS-Server";
 // Marks server-to-server transfers (migration fetches, validation,
 // pinger probes) so they are not counted as client demand.
 inline constexpr std::string_view kHeaderDcwsInternal = "X-DCWS-Internal";
+// Trace-id propagation: when one server calls a cooperating server on
+// behalf of a client request, the request's 16-hex trace id rides along
+// here so both servers' span trees share one id (same extension-header
+// channel the paper uses for piggybacked load info).
+inline constexpr std::string_view kHeaderDcwsTrace = "X-DCWS-Trace";
 
 struct Request {
   std::string method = "GET";

@@ -1,13 +1,15 @@
 #include "src/metrics/rate_window.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace dcws::metrics {
 
-RateWindow::RateWindow(MicroTime window) : window_(window) {
-  assert(window > 0);
-  bucket_width_ = std::max<MicroTime>(window / 16, 1);
+RateWindow::RateWindow(MicroTime window)
+    : window_(std::max<MicroTime>(window, 1)) {
+  // Clamp instead of asserting: a zero (or negative) window from a
+  // miscomputed config would otherwise divide Cps/Bps by zero in release
+  // builds where assert compiles away.
+  bucket_width_ = std::max<MicroTime>(window_ / 16, 1);
 }
 
 void RateWindow::Record(MicroTime now, uint64_t bytes) {

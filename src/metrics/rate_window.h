@@ -14,8 +14,19 @@ namespace dcws::metrics {
 // window and expose CPS and BPS.
 //
 // Events are recorded in coarse buckets (window/16) so memory stays O(1)
-// regardless of request rate.  Not thread-safe; callers hold their own
-// locks (core::Server) or run single-threaded (simulator).
+// regardless of request rate.
+//
+// Thread contract: NOT thread-safe, including the const readers.  Cps()
+// and Bps() call Expire(), which mutates the `mutable buckets_` deque —
+// "const" here means logically-const (the observable rate is unchanged),
+// not bitwise-const, so two concurrent const reads still race.  Callers
+// must serialize ALL access, reads included, under one lock: core::Server
+// wraps every call in window_mutex_ and annotates the field
+// DCWS_GUARDED_BY(window_mutex_) — the clang thread-safety analysis then
+// enforces the contract at the call sites even though this class itself
+// carries no annotations; single-threaded users (the simulator) need
+// nothing.  A non-zero window is enforced: values < 1 us are clamped to
+// 1 us so the Cps/Bps divisors can never be zero.
 class RateWindow {
  public:
   explicit RateWindow(MicroTime window = 10 * kMicrosPerSecond);
@@ -24,8 +35,10 @@ class RateWindow {
   void Record(MicroTime now, uint64_t bytes);
 
   // Connections per second over the trailing window ending at `now`.
+  // Logically const; mutates internal state (see thread contract above).
   double Cps(MicroTime now) const;
   // Bytes per second over the trailing window ending at `now`.
+  // Logically const; mutates internal state (see thread contract above).
   double Bps(MicroTime now) const;
 
   // Lifetime totals (never expire).
@@ -41,6 +54,9 @@ class RateWindow {
     uint64_t bytes = 0;
   };
 
+  // Drops buckets older than the window.  Const because the readers need
+  // it, mutating because the deque shrinks — the root of the
+  // logically-const contract documented on the class.
   void Expire(MicroTime now) const;
 
   MicroTime window_;

@@ -57,12 +57,15 @@ Result<http::Response> InprocServerHost::Call(
     }
     if (queue_.size() >=
         static_cast<size_t>(server_->params().socket_queue_length)) {
-      // Socket queue overflow: graceful 503 (§5.2).
+      // Socket queue overflow: graceful 503 (§5.2).  The server never
+      // sees the request, so feed its outcome counters directly.
       dropped_ += 1;
+      server_->CountQueueDrop();
       return http::MakeOverloadedResponse();
     }
     auto job = std::make_unique<Job>();
     job->request = request;
+    job->enqueued = server_->clock()->Now();
     future = job->promise.get_future();
     queue_.push_back(std::move(job));
     accepted_ += 1;
@@ -84,7 +87,11 @@ void InprocServerHost::WorkerLoop() {
     // The handler may itself call back into the network (co-op fetch),
     // blocking this worker on another host's queue — exactly as a real
     // worker thread blocks on an upstream HTTP connection.
-    http::Response response = server_->HandleRequest(job->request, network_);
+    core::RequestTrace trace;
+    MicroTime now = server_->clock()->Now();
+    if (now > job->enqueued) trace.queue_wait = now - job->enqueued;
+    http::Response response =
+        server_->HandleRequest(job->request, network_, &trace);
     job->promise.set_value(std::move(response));
   }
 }

@@ -51,6 +51,7 @@ class InprocServerHost {
  private:
   struct Job {
     http::Request request;
+    MicroTime enqueued = 0;  // accept time, for the accept_wait span
     std::promise<Result<http::Response>> promise;
   };
 

@@ -82,10 +82,13 @@ void TcpServerHost::AcceptLoop() {
       MutexLock lock(mutex_);
       if (pending_.size() <
           static_cast<size_t>(server_->params().socket_queue_length)) {
-        pending_.push_back(std::move(conn));
+        pending_.push_back(
+            PendingConn{std::move(conn), server_->clock()->Now()});
       } else {
-        // Socket queue overflow: graceful 503 (§5.2) and close.
+        // Socket queue overflow: graceful 503 (§5.2) and close.  The
+        // server never sees the request; feed its outcome counters.
         dropped_.fetch_add(1);
+        server_->CountQueueDrop();
         (void)WriteAll(conn, http::MakeOverloadedResponse().Serialize());
         continue;
       }
@@ -96,20 +99,21 @@ void TcpServerHost::AcceptLoop() {
 
 void TcpServerHost::WorkerLoop() {
   while (true) {
-    Socket conn;
+    PendingConn pending;
     {
       MutexLock lock(mutex_);
       while (!stopping_ && pending_.empty()) queue_cv_.Wait(mutex_);
       if (stopping_) return;
-      conn = std::move(pending_.front());
+      pending = std::move(pending_.front());
       pending_.pop_front();
     }
-    ServeConnection(std::move(conn));
+    ServeConnection(std::move(pending.conn), pending.accepted_at);
   }
 }
 
-void TcpServerHost::ServeConnection(Socket conn) {
+void TcpServerHost::ServeConnection(Socket conn, MicroTime accepted_at) {
   // HTTP/1.0: one request per connection.
+  MicroTime read_start = server_->clock()->Now();
   http::MessageFramer framer;
   std::optional<std::string> wire;
   while (!wire.has_value()) {
@@ -131,7 +135,14 @@ void TcpServerHost::ServeConnection(Socket conn) {
     (void)WriteAll(conn, bad.Serialize());
     return;
   }
-  http::Response response = server_->HandleRequest(*request, network_);
+  core::RequestTrace trace;
+  if (read_start > accepted_at) {
+    trace.queue_wait = read_start - accepted_at;
+  }
+  MicroTime parsed = server_->clock()->Now();
+  if (parsed > read_start) trace.parse_micros = parsed - read_start;
+  http::Response response =
+      server_->HandleRequest(*request, network_, &trace);
   (void)WriteAll(conn, response.Serialize());
 }
 
@@ -150,9 +161,10 @@ void TcpServerHost::DutyLoop() {
 
 TcpNetwork::~TcpNetwork() { StopAll(); }
 
-Result<TcpServerHost*> TcpNetwork::AddServer(core::Server* server) {
+Result<TcpServerHost*> TcpNetwork::AddServer(core::Server* server,
+                                             uint16_t listen_port) {
   DCWS_ASSIGN_OR_RETURN(std::unique_ptr<TcpServerHost> host,
-                        TcpServerHost::Start(server, this, 0));
+                        TcpServerHost::Start(server, this, listen_port));
   TcpServerHost* raw = host.get();
   MutexLock lock(mutex_);
   ports_[server->address()] = raw->port();

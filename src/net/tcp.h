@@ -51,8 +51,9 @@ class TcpServerHost {
   void WorkerLoop();
   void DutyLoop();
   // Parses one request off `conn`, serves it, writes the response.
-  // HTTP/1.0 semantics: one request per connection.
-  void ServeConnection(Socket conn);
+  // HTTP/1.0 semantics: one request per connection.  `accepted_at` is
+  // when the front end queued the connection (for the accept_wait span).
+  void ServeConnection(Socket conn, MicroTime accepted_at);
 
   core::Server* server_;
   TcpNetwork* network_;
@@ -61,8 +62,13 @@ class TcpServerHost {
 
   Mutex mutex_;
   CondVar queue_cv_;
-  // The socket queue (bounded by L_sq).
-  std::deque<Socket> pending_ DCWS_GUARDED_BY(mutex_);
+  // The socket queue (bounded by L_sq), each entry stamped with its
+  // accept time.
+  struct PendingConn {
+    Socket conn;
+    MicroTime accepted_at = 0;
+  };
+  std::deque<PendingConn> pending_ DCWS_GUARDED_BY(mutex_);
   bool stopping_ DCWS_GUARDED_BY(mutex_) = false;
 
   std::thread accept_thread_;
@@ -80,9 +86,11 @@ class TcpNetwork : public core::PeerClient {
  public:
   ~TcpNetwork() override;
 
-  // Starts a TCP host for `server` on an ephemeral loopback port and
-  // registers its name.
-  Result<TcpServerHost*> AddServer(core::Server* server);
+  // Starts a TCP host for `server` and registers its name.
+  // `listen_port` 0 (the default) picks an ephemeral loopback port;
+  // tools that need stable ports (dcws_serve --port) pass one.
+  Result<TcpServerHost*> AddServer(core::Server* server,
+                                   uint16_t listen_port = 0);
 
   // The loopback port a server name resolves to (0 if unknown).
   uint16_t Resolve(const http::ServerAddress& address) const;

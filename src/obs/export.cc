@@ -1,0 +1,211 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dcws::obs {
+
+namespace {
+
+// Integral values print without a decimal point (counter semantics);
+// everything else gets shortest-round-trip-ish %.6g.
+std::string NumberToString(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string LabelBlock(const Labels& labels, const Labels& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Labels* set : {&labels, &extra}) {
+    for (const auto& [name, value] : *set) {
+      if (!first) out += ",";
+      first = false;
+      out += name + "=\"" + value + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+// One extra label appended to an existing block (the histogram `le`).
+std::string LabelBlockWith(const Labels& labels, const Labels& extra,
+                           std::string_view key, std::string_view value) {
+  Labels merged = labels;
+  merged.emplace_back(std::string(key), std::string(value));
+  return LabelBlock(merged, extra);
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ExportText(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out;
+  for (const MetricSnapshot& snap : snapshots) {
+    out += snap.name + LabelBlock(snap.labels, {});
+    if (snap.type == MetricType::kHistogram) {
+      out += " count=" + std::to_string(snap.hist.count);
+      out += " mean=" + NumberToString(snap.hist.Mean());
+      out += " p50=" + NumberToString(snap.hist.Percentile(0.50));
+      out += " p95=" + NumberToString(snap.hist.Percentile(0.95));
+      out += " p99=" + NumberToString(snap.hist.Percentile(0.99));
+      out += " max=" + std::to_string(snap.hist.max);
+    } else {
+      out += " " + NumberToString(snap.value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    const MetricSnapshot& snap = snapshots[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(out, snap.name);
+    out += ",\"labels\":{";
+    for (size_t j = 0; j < snap.labels.size(); ++j) {
+      if (j > 0) out += ",";
+      AppendJsonString(out, snap.labels[j].first);
+      out += ":";
+      AppendJsonString(out, snap.labels[j].second);
+    }
+    out += "},\"type\":\"";
+    out += TypeName(snap.type);
+    out += "\"";
+    if (snap.type == MetricType::kHistogram) {
+      out += ",\"count\":" + std::to_string(snap.hist.count);
+      out += ",\"sum\":" + std::to_string(snap.hist.sum);
+      out += ",\"max\":" + std::to_string(snap.hist.max);
+      out += ",\"p50\":" + NumberToString(snap.hist.Percentile(0.50));
+      out += ",\"p95\":" + NumberToString(snap.hist.Percentile(0.95));
+      out += ",\"p99\":" + NumberToString(snap.hist.Percentile(0.99));
+      out += ",\"buckets\":[";
+      bool first = true;
+      for (int b = 0; b < Histogram::kBucketCount; ++b) {
+        if (snap.hist.buckets[b] == 0) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "[" +
+               std::to_string(Histogram::BucketUpperBound(b)) + "," +
+               std::to_string(snap.hist.buckets[b]) + "]";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + NumberToString(snap.value);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportPrometheus(
+    const std::vector<MetricSnapshot>& snapshots,
+    const Labels& extra_labels) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& snap : snapshots) {
+    if (snap.type != MetricType::kHistogram) {
+      // Snapshots arrive sorted by name, so one # TYPE line heads each
+      // run of a family.
+      if (snap.name != last_family) {
+        out += "# TYPE " + snap.name + " " + TypeName(snap.type) + "\n";
+        last_family = snap.name;
+      }
+      out += snap.name + LabelBlock(snap.labels, extra_labels) + " " +
+             NumberToString(snap.value) + "\n";
+      continue;
+    }
+
+    const Histogram::Snapshot& hist = snap.hist;
+    out += "# TYPE " + snap.name + " histogram\n";
+    last_family = snap.name;
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBucketCount; ++b) {
+      cumulative += hist.buckets[b];
+      if (hist.buckets[b] == 0 && b + 1 != Histogram::kBucketCount) {
+        continue;  // keep the exposition compact; cumulative is intact
+      }
+      std::string le =
+          b + 1 == Histogram::kBucketCount
+              ? "+Inf"
+              : std::to_string(Histogram::BucketUpperBound(b));
+      out += snap.name + "_bucket" +
+             LabelBlockWith(snap.labels, extra_labels, "le", le) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += snap.name + "_sum" + LabelBlock(snap.labels, extra_labels) +
+           " " + std::to_string(hist.sum) + "\n";
+    out += snap.name + "_count" + LabelBlock(snap.labels, extra_labels) +
+           " " + std::to_string(hist.count) + "\n";
+    // Derived quantile gauges: scrapable p50/p95/p99/max without
+    // server-side histogram_quantile().
+    for (const auto& [suffix, value] :
+         std::vector<std::pair<const char*, double>>{
+             {"_p50", hist.Percentile(0.50)},
+             {"_p95", hist.Percentile(0.95)},
+             {"_p99", hist.Percentile(0.99)},
+             {"_max", static_cast<double>(hist.max)}}) {
+      out += "# TYPE " + snap.name + suffix + " gauge\n";
+      out += snap.name + suffix +
+             LabelBlock(snap.labels, extra_labels) + " " +
+             NumberToString(value) + "\n";
+    }
+  }
+  return out;
+}
+
+const MetricSnapshot* FindMetric(
+    const std::vector<MetricSnapshot>& snapshots, std::string_view name,
+    const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricSnapshot& snap : snapshots) {
+    if (snap.name == name && snap.labels == sorted) return &snap;
+  }
+  return nullptr;
+}
+
+}  // namespace dcws::obs

@@ -1,0 +1,44 @@
+#ifndef DCWS_OBS_EXPORT_H_
+#define DCWS_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace dcws::obs {
+
+// Renders a metric snapshot set in the three formats the introspection
+// endpoint speaks (GET /.dcws/status?format=text|json|prometheus) and
+// bench dumps write (--metrics-json).  All three render the SAME
+// snapshot schema, so a dashboard built on the simulator's JSON reads
+// identically against a live TCP server's Prometheus scrape.
+
+// Human-readable lines: "name{label=value} 42" and aggregate histogram
+// lines with count/mean/p50/p95/p99/max.
+std::string ExportText(const std::vector<MetricSnapshot>& snapshots);
+
+// One JSON document: {"metrics":[...]}.  Counters and gauges carry
+// "value"; histograms carry count/sum/max/p50/p95/p99 plus the
+// log-bucket table as [le, count] pairs.
+std::string ExportJson(const std::vector<MetricSnapshot>& snapshots);
+
+// Prometheus text exposition format.  Counters and gauges are emitted
+// directly; a histogram becomes the standard cumulative _bucket/_sum/
+// _count series plus derived <name>_p50/_p95/_p99/_max gauge families
+// so quantiles are scrapable without server-side histogram_quantile.
+// `extra_labels` (e.g. {{"server", "alpha:8001"}}) are appended to
+// every series.
+std::string ExportPrometheus(const std::vector<MetricSnapshot>& snapshots,
+                             const Labels& extra_labels = {});
+
+// First snapshot matching (name, labels), or nullptr — convenience for
+// tools that read one series out of a dump (dcws_serve --status-interval).
+const MetricSnapshot* FindMetric(
+    const std::vector<MetricSnapshot>& snapshots, std::string_view name,
+    const Labels& labels = {});
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_EXPORT_H_

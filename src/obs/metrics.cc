@@ -1,0 +1,215 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.h"
+
+namespace dcws::obs {
+
+namespace {
+
+// Registry index key: name plus sorted labels, NUL-separated so label
+// values containing '=' or ',' cannot collide with the separators.
+std::string IndexKey(std::string_view name, const Labels& sorted) {
+  std::string key(name);
+  for (const auto& [label, value] : sorted) {
+    key.push_back('\0');
+    key.append(label);
+    key.push_back('\0');
+    key.append(value);
+  }
+  return key;
+}
+
+bool LabelsLess(const Labels& a, const Labels& b) { return a < b; }
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Landing bucket: interpolate between its bounds by rank.
+    double lower =
+        i == 0 ? 0 : static_cast<double>(uint64_t{1} << (i - 1));
+    double upper = static_cast<double>(BucketUpperBound(i));
+    double fraction =
+        buckets[i] == 0
+            ? 0
+            : (target - before) / static_cast<double>(buckets[i]);
+    double value = lower + fraction * (upper - lower);
+    return std::min(value, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (int i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+}
+
+Registry::Instrument* Registry::FindOrCreate(std::string name,
+                                             Labels labels,
+                                             MetricType type) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = IndexKey(name, labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->type == type) return it->second;
+    // Type conflict: never alias storage across types.  Log once per
+    // offending call and hand back a detached instrument (readable,
+    // writable, just never exported) so the caller cannot crash.
+    DCWS_LOG(kError) << "metric type conflict for " << name
+                     << "; returning detached instrument";
+  }
+  auto owned = std::make_unique<Instrument>();
+  Instrument* instrument = owned.get();
+  instrument->name = std::move(name);
+  instrument->labels = std::move(labels);
+  instrument->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      instrument->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      instrument->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      instrument->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  if (it == index_.end()) {
+    instruments_.push_back(std::move(owned));
+    index_.emplace(std::move(key), instrument);
+    return instrument;
+  }
+  // Detached (type-conflict) path: owned but not indexed/exported.
+  instrument->detached = true;
+  instruments_.push_back(std::move(owned));
+  return instrument;
+}
+
+Counter* Registry::GetCounter(std::string name, Labels labels) {
+  MutexLock lock(mutex_);
+  return FindOrCreate(std::move(name), std::move(labels),
+                      MetricType::kCounter)
+      ->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string name, Labels labels) {
+  MutexLock lock(mutex_);
+  return FindOrCreate(std::move(name), std::move(labels),
+                      MetricType::kGauge)
+      ->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string name, Labels labels) {
+  MutexLock lock(mutex_);
+  return FindOrCreate(std::move(name), std::move(labels),
+                      MetricType::kHistogram)
+      ->histogram.get();
+}
+
+void Registry::AddCallbackGauge(std::string name, Labels labels,
+                                std::function<double()> fn) {
+  MutexLock lock(mutex_);
+  Instrument* instrument = FindOrCreate(
+      std::move(name), std::move(labels), MetricType::kGauge);
+  instrument->callback = std::move(fn);
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    MutexLock lock(mutex_);
+    out.reserve(instruments_.size());
+    for (const auto& instrument : instruments_) {
+      if (instrument->detached) continue;
+      MetricSnapshot snap;
+      snap.name = instrument->name;
+      snap.labels = instrument->labels;
+      snap.type = instrument->type;
+      switch (instrument->type) {
+        case MetricType::kCounter:
+          snap.value = static_cast<double>(instrument->counter->Value());
+          break;
+        case MetricType::kGauge:
+          snap.value = instrument->callback
+                           ? instrument->callback()
+                           : instrument->gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          snap.hist = instrument->histogram->Snap();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return LabelsLess(a.labels, b.labels);
+            });
+  return out;
+}
+
+size_t Registry::size() const {
+  MutexLock lock(mutex_);
+  return index_.size();
+}
+
+std::vector<MetricSnapshot> MergeSnapshots(
+    const std::vector<std::vector<MetricSnapshot>>& per_server) {
+  // std::map keys keep the merged output deterministically ordered.
+  std::map<std::pair<std::string, Labels>, MetricSnapshot> merged;
+  for (const auto& snapshots : per_server) {
+    for (const MetricSnapshot& snap : snapshots) {
+      auto key = std::make_pair(snap.name, snap.labels);
+      auto [it, inserted] = merged.emplace(std::move(key), snap);
+      if (inserted) continue;
+      if (snap.type != it->second.type) continue;  // malformed input
+      if (snap.type == MetricType::kHistogram) {
+        it->second.hist.Merge(snap.hist);
+      } else {
+        it->second.value += snap.value;
+      }
+    }
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [key, snap] : merged) out.push_back(std::move(snap));
+  return out;
+}
+
+}  // namespace dcws::obs

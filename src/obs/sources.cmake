@@ -1,0 +1,5 @@
+dcws_module(obs
+  metrics.cc
+  trace.cc
+  export.cc
+)

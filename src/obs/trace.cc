@@ -1,0 +1,238 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dcws::obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatTraceId(TraceId id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::optional<TraceId> ParseTraceId(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  TraceId id = 0;
+  for (char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return std::nullopt;
+    }
+    id = (id << 4) | digit;
+  }
+  if (id == 0) return std::nullopt;
+  return id;
+}
+
+TraceId TraceIdGenerator::Next() {
+  // fetch_add walks the seed; SplitMix64 whitens each step into an id.
+  uint64_t state = state_.fetch_add(1, std::memory_order_relaxed);
+  TraceId id = SplitMix64(state);
+  return id == 0 ? 1 : id;
+}
+
+uint64_t SeedFromName(std::string_view name) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+TraceBuilder::TraceBuilder(TraceId id, std::string root,
+                           std::string server, MicroTime start) {
+  trace_.id = id;
+  trace_.root = std::move(root);
+  trace_.server = std::move(server);
+  trace_.start = start;
+}
+
+int TraceBuilder::BeginSpan(std::string name, MicroTime now) {
+  Span span;
+  span.name = std::move(name);
+  span.start = now;
+  span.end = now;
+  span.depth = static_cast<int>(open_.size()) + 1;
+  trace_.spans.push_back(std::move(span));
+  int handle = static_cast<int>(trace_.spans.size()) - 1;
+  open_.push_back(handle);
+  return handle;
+}
+
+void TraceBuilder::EndSpan(int handle, MicroTime now) {
+  if (handle < 0 || handle >= static_cast<int>(trace_.spans.size())) {
+    return;
+  }
+  trace_.spans[static_cast<size_t>(handle)].end = now;
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    if (*it == handle) {
+      open_.erase(it);
+      break;
+    }
+  }
+}
+
+void TraceBuilder::Annotate(int handle, std::string note) {
+  if (handle < 0 || handle >= static_cast<int>(trace_.spans.size())) {
+    return;
+  }
+  Span& span = trace_.spans[static_cast<size_t>(handle)];
+  if (!span.note.empty()) span.note += " ";
+  span.note += note;
+}
+
+void TraceBuilder::AddCompletedSpan(std::string name, MicroTime start,
+                                    MicroTime end) {
+  Span span;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = end;
+  span.depth = static_cast<int>(open_.size()) + 1;
+  trace_.spans.push_back(std::move(span));
+}
+
+Trace TraceBuilder::Finish(MicroTime end, int status_code) {
+  for (int handle : open_) {
+    trace_.spans[static_cast<size_t>(handle)].end = end;
+  }
+  open_.clear();
+  trace_.end = end;
+  trace_.status_code = status_code;
+  return std::move(trace_);
+}
+
+void TraceRing::Add(Trace trace) {
+  MutexLock lock(mutex_);
+  added_ += 1;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Trace> TraceRing::Snapshot() const {
+  MutexLock lock(mutex_);
+  return std::vector<Trace>(ring_.begin(), ring_.end());
+}
+
+uint64_t TraceRing::total_added() const {
+  MutexLock lock(mutex_);
+  return added_;
+}
+
+std::string FormatTraceText(const Trace& trace) {
+  std::ostringstream out;
+  out << "trace " << FormatTraceId(trace.id) << " " << trace.root << " "
+      << trace.status_code << " " << trace.DurationMicros() << "us"
+      << " server=" << trace.server;
+  if (trace.internal) out << " internal";
+  if (trace.propagated) out << " propagated";
+  out << "\n";
+  for (const Span& span : trace.spans) {
+    for (int i = 0; i < span.depth; ++i) out << "  ";
+    out << span.name << " " << (span.end - span.start) << "us";
+    if (!span.note.empty()) out << " [" << span.note << "]";
+    out << "\n";
+  }
+  return std::move(out).str();
+}
+
+std::string FormatTraceJson(const Trace& trace) {
+  std::string out = "{\"id\":\"" + FormatTraceId(trace.id) + "\",";
+  out += "\"root\":\"";
+  AppendJsonEscaped(out, trace.root);
+  out += "\",\"server\":\"";
+  AppendJsonEscaped(out, trace.server);
+  out += "\",\"status\":" + std::to_string(trace.status_code);
+  out += ",\"start_us\":" + std::to_string(trace.start);
+  out += ",\"duration_us\":" + std::to_string(trace.DurationMicros());
+  out += ",\"internal\":";
+  out += trace.internal ? "true" : "false";
+  out += ",\"propagated\":";
+  out += trace.propagated ? "true" : "false";
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& span = trace.spans[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, span.name);
+    out += "\",\"depth\":" + std::to_string(span.depth);
+    out += ",\"start_us\":" + std::to_string(span.start);
+    out += ",\"duration_us\":" + std::to_string(span.end - span.start);
+    if (!span.note.empty()) {
+      out += ",\"note\":\"";
+      AppendJsonEscaped(out, span.note);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatTracesJson(const std::vector<Trace>& recent,
+                             const std::vector<Trace>& slow) {
+  std::string out = "{\"recent\":[";
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatTraceJson(recent[i]);
+  }
+  out += "],\"slow\":[";
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatTraceJson(slow[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dcws::obs

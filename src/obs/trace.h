@@ -1,0 +1,162 @@
+#ifndef DCWS_OBS_TRACE_H_
+#define DCWS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+
+namespace dcws::obs {
+
+// Request tracing.  Every client-facing request gets a span tree
+// (accept wait → parse → handle → per-phase children) under one 64-bit
+// trace id.  When a server calls a cooperating server on behalf of the
+// request (co-op fetch-from-home), the id rides along in the
+// X-DCWS-Trace extension header — the same piggyback channel the paper
+// uses for load information — so the remote server's span tree carries
+// the SAME id and the two trees can be joined after the fact.
+//
+// Completed traces land in per-server ring buffers (recent + slow) and
+// are served by GET /.dcws/traces; see DESIGN.md "Observability".
+
+// 0 means "no trace".
+using TraceId = uint64_t;
+
+// 16 lowercase hex digits, the X-DCWS-Trace wire form.
+std::string FormatTraceId(TraceId id);
+// Parses exactly the FormatTraceId form (16 hex digits); anything else
+// — wrong length, non-hex, the all-zero id — is nullopt.  Robustness
+// rule as for the piggyback codec: a peer's bad header is ignored, not
+// an error.
+std::optional<TraceId> ParseTraceId(std::string_view text);
+
+// Deterministic per-server id source: a splitmix64 walk seeded from the
+// server identity.  Two servers seeded differently produce disjoint
+// streams with overwhelming probability, and a simulated run replays
+// bit-identical ids.  Thread-safe.
+class TraceIdGenerator {
+ public:
+  explicit TraceIdGenerator(uint64_t seed) : state_(seed) {}
+  TraceId Next();
+
+ private:
+  std::atomic<uint64_t> state_;
+};
+
+// Seed helper: FNV-1a over the server's printable address.
+uint64_t SeedFromName(std::string_view name);
+
+// One node of the span tree, flattened: `depth` encodes nesting (the
+// root request is depth 0), order is start order.
+struct Span {
+  std::string name;
+  std::string note;  // free-form annotation ("home=beta:8002")
+  MicroTime start = 0;
+  MicroTime end = 0;
+  int depth = 1;
+};
+
+// A completed request trace.
+struct Trace {
+  TraceId id = 0;
+  std::string root;    // request line, e.g. "GET /index.html"
+  std::string server;  // which server recorded it
+  MicroTime start = 0;
+  MicroTime end = 0;
+  int status_code = 0;
+  bool internal = false;    // server-to-server request
+  bool propagated = false;  // id arrived via X-DCWS-Trace
+  std::vector<Span> spans;
+
+  MicroTime DurationMicros() const { return end - start; }
+};
+
+// Per-request span collector.  NOT thread-safe: one request is handled
+// by one worker, so the builder lives on that worker's stack.
+class TraceBuilder {
+ public:
+  TraceBuilder(TraceId id, std::string root, std::string server,
+               MicroTime start);
+
+  // Opens a nested span; returns a handle for EndSpan.  Spans close in
+  // any order (the handle addresses the span directly).
+  int BeginSpan(std::string name, MicroTime now);
+  void EndSpan(int handle, MicroTime now);
+  void Annotate(int handle, std::string note);
+
+  // Records an already-elapsed phase (accept wait, parse) without
+  // affecting the open-span stack.
+  void AddCompletedSpan(std::string name, MicroTime start, MicroTime end);
+
+  void set_propagated(bool propagated) { trace_.propagated = propagated; }
+  void set_internal(bool internal) { trace_.internal = internal; }
+  TraceId id() const { return trace_.id; }
+
+  // Closes any still-open spans and the trace itself.
+  Trace Finish(MicroTime end, int status_code);
+
+ private:
+  Trace trace_;
+  std::vector<int> open_;  // stack of open span indices
+};
+
+// RAII span tied to a Clock; tolerates a null builder so call sites
+// stay unconditional ("if tracing is off this line costs nothing").
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuilder* builder, const Clock* clock, std::string name)
+      : builder_(builder), clock_(clock) {
+    if (builder_ != nullptr) {
+      handle_ = builder_->BeginSpan(std::move(name), clock_->Now());
+    }
+  }
+  ~ScopedSpan() {
+    if (builder_ != nullptr) builder_->EndSpan(handle_, clock_->Now());
+  }
+  void Annotate(std::string note) {
+    if (builder_ != nullptr) builder_->Annotate(handle_, std::move(note));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuilder* builder_;
+  const Clock* clock_;
+  int handle_ = -1;
+};
+
+// Bounded ring of recent traces; oldest evicted first.  Thread-safe.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity) {}
+
+  void Add(Trace trace) DCWS_EXCLUDES(mutex_);
+  // Oldest-to-newest copy of the ring.
+  std::vector<Trace> Snapshot() const DCWS_EXCLUDES(mutex_);
+  uint64_t total_added() const DCWS_EXCLUDES(mutex_);
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mutex_;
+  std::deque<Trace> ring_ DCWS_GUARDED_BY(mutex_);
+  uint64_t added_ DCWS_GUARDED_BY(mutex_) = 0;
+};
+
+// Human-readable span tree, two-space indents per depth.
+std::string FormatTraceText(const Trace& trace);
+// JSON object for one trace / array-of-objects document for a set.
+std::string FormatTraceJson(const Trace& trace);
+std::string FormatTracesJson(const std::vector<Trace>& recent,
+                             const std::vector<Trace>& slow);
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_TRACE_H_

@@ -98,6 +98,13 @@ ExperimentResult RunExperiment(const workload::SiteSpec& site,
     next_sample += config.sample_interval;
   }
   world.queue().RunUntil(end);
+  // Quiesce: swallow new submissions and let in-flight responses land so
+  // the server-side outcome counters reconcile exactly with the client
+  // totals in `result.metrics`.
+  world.SetSubmitInterceptor(
+      [](const http::ServerAddress&, const http::Request&,
+         SimHost::ResponseCallback) { return true; });
+  world.queue().RunUntil(end + Seconds(10));
 
   ExperimentResult result;
   result.window_totals = sampler.DeltaSince(window_start);
@@ -113,7 +120,9 @@ ExperimentResult RunExperiment(const workload::SiteSpec& site,
                          static_cast<double>(offered);
   result.cps_series = std::move(sampler.cps());
   result.bps_series = std::move(sampler.bps());
+  result.client_totals = world.totals();
   result.server_counters = world.AggregateServerCounters();
+  result.metrics = world.AggregateMetrics();
   result.latency_ms = metrics::Summarize(world.TakeLatencySamplesMs());
   return result;
 }

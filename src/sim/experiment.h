@@ -36,7 +36,11 @@ struct ExperimentResult {
   metrics::TimeSeries cps_series{"cps", 0};
   metrics::TimeSeries bps_series{"bps", 0};
   ClientTotals window_totals;         // deltas over the measured window
+  ClientTotals client_totals;         // lifetime client-side totals
   core::Server::Counters server_counters;  // cluster lifetime totals
+  // Cluster-wide merged metric registry (lifetime), the same schema a
+  // live server serves at /.dcws/status; bench --metrics-json dumps it.
+  std::vector<obs::MetricSnapshot> metrics;
   // Client-perceived response-time distribution over the measured
   // window (ms) — the "RTT" metric the paper could not measure (§5.3).
   metrics::Summary latency_ms;

@@ -43,14 +43,18 @@ void SimHost::Submit(http::Request request, ResponseCallback done) {
   if (queue_.size() >=
       static_cast<size_t>(params.socket_queue_length)) {
     // Socket queue overflow: graceful 503 (§5.2 request drop behaviour).
+    // The server never sees the request; feed its outcome counters so
+    // the registry adds up to what clients observed.
     drops_ += 1;
+    server_->CountQueueDrop();
     ChargeBackground(world_->calib().redirect_cpu);
     world_->queue().ScheduleAfter(
         world_->calib().redirect_cpu,
         [done = std::move(done)]() { done(http::MakeOverloadedResponse()); });
     return;
   }
-  queue_.push_back(Pending{std::move(request), std::move(done)});
+  queue_.push_back(
+      Pending{std::move(request), std::move(done), world_->Now()});
   if (!serving_) StartNext();
 }
 
@@ -68,6 +72,9 @@ void SimHost::StartNext() {
   // then hold the station for the modelled duration.
   Pending pending = std::move(queue_.front());
   core::RequestTrace trace;
+  if (world_->Now() > pending.enqueued) {
+    trace.queue_wait = world_->Now() - pending.enqueued;
+  }
   http::Response response =
       server_->HandleRequest(pending.request, world_, &trace);
   MicroTime service = ServiceTime(response, trace) + background_debt_;
@@ -258,6 +265,15 @@ core::Server::Counters SimWorld::AggregateServerCounters() const {
     sum.not_modified += c.not_modified;
   }
   return sum;
+}
+
+std::vector<obs::MetricSnapshot> SimWorld::AggregateMetrics() const {
+  std::vector<std::vector<obs::MetricSnapshot>> per_host;
+  per_host.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    per_host.push_back(host->server_->metrics().Snapshot());
+  }
+  return obs::MergeSnapshots(per_host);
 }
 
 }  // namespace dcws::sim

@@ -55,6 +55,7 @@ class SimHost {
   struct Pending {
     http::Request request;
     ResponseCallback done;
+    MicroTime enqueued = 0;  // arrival time, for the accept_wait span
   };
 
   void StartNext();
@@ -159,6 +160,12 @@ class SimWorld : public core::PeerClient {
 
   // Aggregate server counters across hosts.
   core::Server::Counters AggregateServerCounters() const;
+
+  // Cluster-wide metric snapshot: every host's registry merged by
+  // (name, labels) — counters/gauges summed, histograms bucket-merged.
+  // Schema-identical to a live server's /.dcws/status, so bench JSON
+  // dumps compare directly against real scrapes.
+  std::vector<obs::MetricSnapshot> AggregateMetrics() const;
 
  private:
   void ScheduleTicks();

@@ -1,7 +1,10 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/util/mutex.h"
 
@@ -9,7 +12,34 @@ namespace dcws {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+// Startup level: the DCWS_LOG_LEVEL environment variable when set
+// (debug | info | warning/warn | error, case-insensitive, or a numeric
+// 0-3), otherwise warnings and up.  Unrecognized values are ignored —
+// a typo should not silence error logging.
+int InitialLogLevel() {
+  const char* env = std::getenv("DCWS_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarning);
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug" || value == "0") {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (value == "info" || value == "1") {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (value == "warning" || value == "warn" || value == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (value == "error" || value == "3") {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 // Serializes writes so interleaved thread output stays line-atomic.
 // (Annotated dcws::Mutex like every other lock in the library; leaked so

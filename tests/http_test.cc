@@ -4,6 +4,7 @@
 #include "src/http/message.h"
 #include "src/http/url.h"
 #include "src/http/wire.h"
+#include "src/obs/trace.h"
 
 namespace dcws::http {
 namespace {
@@ -245,6 +246,27 @@ TEST(WireTest, FramerReportsBadContentLength) {
   framer.Feed("HTTP/1.0 200 OK\r\nContent-Length: zap\r\n\r\n");
   EXPECT_FALSE(framer.NextMessage().has_value());
   EXPECT_TRUE(framer.has_error());
+}
+
+// A trace id set by one server survives serialization and parse on the
+// receiving server — the propagation channel behind joined co-op span
+// trees (same extension-header mechanism as the load piggyback).
+TEST(WireTest, TraceHeaderRoundTrip) {
+  obs::TraceId id = 0x1234abcd5678ef90ULL;
+  Request req;
+  req.method = "GET";
+  req.target = "/a.html";
+  req.headers.Set(std::string(kHeaderDcwsTrace), obs::FormatTraceId(id));
+
+  auto parsed = ParseRequest(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  auto header = parsed->headers.Get(std::string(kHeaderDcwsTrace));
+  ASSERT_TRUE(header.has_value());
+  auto round_tripped = obs::ParseTraceId(*header);
+  ASSERT_TRUE(round_tripped.has_value());
+  EXPECT_EQ(*round_tripped, id);
+  // Header lookup is case-insensitive like every other header.
+  EXPECT_TRUE(parsed->headers.Get("x-dcws-trace").has_value());
 }
 
 }  // namespace

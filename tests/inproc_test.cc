@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/net/inproc.h"
+#include "src/obs/export.h"
 #include "src/workload/site.h"
 
 namespace dcws::net {
@@ -183,6 +184,73 @@ TEST(InprocBacklogTest, OverflowDrops503) {
   for (auto& thread : threads) thread.join();
   EXPECT_GT(dropped.load(), 0) << "backlog cap should shed load";
   EXPECT_GT(network.Find(server.address())->dropped(), 0u);
+  network.StopAll();
+}
+
+// Acceptance check for the introspection endpoint: a three-server
+// in-process cluster answers /.dcws/status?format=prometheus on every
+// member with the full request-outcome counter family and derived
+// latency quantiles.
+TEST(InprocStatusTest, PrometheusScrapeOnThreeServerCluster) {
+  WallClock clock;
+  core::ServerParams params = FastParams();
+  core::Server alpha({"alpha", 9201}, params, &clock);
+  core::Server beta({"beta", 9202}, params, &clock);
+  core::Server gamma({"gamma", 9203}, params, &clock);
+  std::vector<core::Server*> group = {&alpha, &beta, &gamma};
+  for (core::Server* a : group) {
+    for (core::Server* b : group) {
+      if (a != b) a->RegisterPeer(b->address());
+    }
+  }
+  ASSERT_TRUE(alpha
+                  .LoadSite({Doc("/index.html", "<a href=\"a.html\">a</a>"),
+                             Doc("/a.html", "<p>a</p>")},
+                            {"/index.html"})
+                  .ok());
+  InprocNetwork network;
+  for (core::Server* server : group) network.AddServer(server);
+
+  for (int i = 0; i < 10; ++i) {
+    http::Request request;
+    request.target = (i % 2 == 0) ? "/a.html" : "/nope.html";
+    ASSERT_TRUE(network.Execute(alpha.address(), request).ok());
+  }
+
+  for (core::Server* server : group) {
+    http::Request scrape;
+    scrape.target = "/.dcws/status?format=prometheus";
+    auto response = network.Execute(server->address(), scrape);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status_code, 200);
+    const std::string& body = response->body;
+    EXPECT_NE(body.find("# TYPE dcws_requests_total counter"),
+              std::string::npos);
+    for (const char* outcome :
+         {"served_local", "served_coop", "redirect", "not_found",
+          "overloaded", "dropped"}) {
+      EXPECT_NE(body.find("dcws_requests_total{outcome=\"" +
+                          std::string(outcome) + "\""),
+                std::string::npos)
+          << server->address().ToString() << " missing outcome "
+          << outcome;
+    }
+    for (const char* quantile : {"_p50", "_p95", "_p99", "_max"}) {
+      EXPECT_NE(
+          body.find("dcws_request_latency_us" + std::string(quantile)),
+          std::string::npos)
+          << server->address().ToString() << " missing " << quantile;
+    }
+    EXPECT_NE(body.find("server=\"" + server->address().ToString() + "\""),
+              std::string::npos);
+  }
+
+  // The traffic-generating server actually observed the requests.
+  auto snapshot = alpha.metrics().Snapshot();
+  const obs::MetricSnapshot* served = obs::FindMetric(
+      snapshot, "dcws_requests_total", {{"outcome", "served_local"}});
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->value, 5.0);
   network.StopAll();
 }
 

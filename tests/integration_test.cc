@@ -9,6 +9,7 @@
 #include "src/core/cluster.h"
 #include "src/html/rewriter.h"
 #include "src/migrate/naming.h"
+#include "src/obs/trace.h"
 #include "src/workload/browse.h"
 #include "src/workload/site.h"
 
@@ -244,6 +245,76 @@ TEST_F(IntegrationTest, BrowsingClientNeverFailsThroughChurn) {
   }
   EXPECT_EQ(client.stats().failures, 0u);
   EXPECT_GT(client.stats().steps, 100u);
+}
+
+TEST_F(IntegrationTest, CoopFetchSharesOneTraceIdAcrossServers) {
+  // Build demand for one non-entry document WITHOUT following the
+  // redirect, so after migration the co-op has control but no bytes and
+  // the first real fetch triggers fetch-from-home.
+  std::string victim;
+  for (const auto& doc : site_.documents) {
+    bool is_entry = false;
+    for (const auto& entry : site_.entry_points) {
+      if (entry == doc.path) is_entry = true;
+    }
+    if (!is_entry) {
+      victim = doc.path;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+
+  http::ServerAddress location = home().address();
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      home().HandleRequest(Get(victim), &net());
+    }
+    clock_.Advance(Seconds(10));
+    cluster_->TickAll();
+    auto record = home().ldg().Lookup(victim);
+    ASSERT_TRUE(record.ok());
+    location = record->location;
+    if (!(location == home().address())) break;
+  }
+  if (location == home().address()) GTEST_SKIP() << "never migrated";
+  Server* coop = net().Find(location);
+  ASSERT_NE(coop, nullptr);
+
+  // First client fetch through the redirect: the co-op must go back to
+  // the home server for the bytes, carrying the client request's trace
+  // id in X-DCWS-Trace.
+  http::Response resp = FetchFollowingRedirects(victim);
+  ASSERT_EQ(resp.status_code, 200);
+
+  obs::TraceId shared_id = 0;
+  for (const obs::Trace& trace : coop->recent_traces().Snapshot()) {
+    for (const obs::Span& span : trace.spans) {
+      if (span.name == "coop_fetch") shared_id = trace.id;
+    }
+  }
+  ASSERT_NE(shared_id, 0u) << "co-op never recorded a coop_fetch span";
+
+  // The home server recorded the internal fetch under the SAME id,
+  // marked as propagated — the two span trees join on it.
+  bool joined = false;
+  for (const obs::Trace& trace : home().recent_traces().Snapshot()) {
+    if (trace.id == shared_id) {
+      EXPECT_TRUE(trace.propagated);
+      EXPECT_TRUE(trace.internal);
+      joined = true;
+    }
+  }
+  EXPECT_TRUE(joined) << "home has no trace with id "
+                      << obs::FormatTraceId(shared_id);
+
+  // Both servers' /.dcws/traces expose the id.
+  std::string wire_id = obs::FormatTraceId(shared_id);
+  http::Response home_traces =
+      home().HandleRequest(Get("/.dcws/traces"), &net());
+  http::Response coop_traces =
+      coop->HandleRequest(Get("/.dcws/traces"), &net());
+  EXPECT_NE(home_traces.body.find(wire_id), std::string::npos);
+  EXPECT_NE(coop_traces.body.find(wire_id), std::string::npos);
 }
 
 }  // namespace

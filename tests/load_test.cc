@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/load/glt.h"
 #include "src/load/piggyback.h"
 #include "src/load/pinger.h"
@@ -48,6 +50,21 @@ TEST(RateWindowTest, BucketsBoundMemory) {
   }
   EXPECT_EQ(window.total_connections(), 100000u);
   EXPECT_GT(window.Cps(100000 * 100), 0.0);
+}
+
+TEST(RateWindowTest, ZeroWindowIsClampedNotDivideByZero) {
+  // A zero (or negative) window from a miscomputed config clamps to
+  // 1 us; Cps/Bps must return finite values, never divide by zero.
+  for (MicroTime bad : {MicroTime{0}, MicroTime{-5}}) {
+    metrics::RateWindow window(bad);
+    EXPECT_EQ(window.window(), 1);
+    window.Record(0, 100);
+    double cps = window.Cps(0);
+    double bps = window.Bps(0);
+    EXPECT_TRUE(std::isfinite(cps)) << "window=" << bad;
+    EXPECT_TRUE(std::isfinite(bps)) << "window=" << bad;
+    EXPECT_GE(cps, 0.0);
+  }
 }
 
 // ----------------------------------------------------------- time series

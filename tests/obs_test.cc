@@ -1,0 +1,431 @@
+// Unit tests for the observability layer: metrics registry (counter /
+// gauge / log-bucket histogram), snapshot merging, trace ids, span
+// trees, trace rings, and the three export formats.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/clock.h"
+
+namespace dcws::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram.
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket i holds values of bit-width i: 0 -> 0, 1 -> 1, 2-3 -> 2, ...
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Everything past the last bucket's range lands in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}),
+            Histogram::kBucketCount - 1);
+
+  // Upper bounds are inclusive and match the index function: a value
+  // equal to BucketUpperBound(i) must index to bucket i.
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  for (int i = 0; i < Histogram::kBucketCount - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i)
+        << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i) + 1),
+              i + 1)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, ObserveAndSnapshot) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(5);
+  h.Observe(1000);
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1010u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);                          // {0}
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(5)], 2u);  // [4,7]
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(1000)], 1u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1010.0 / 4.0);
+}
+
+TEST(HistogramTest, PercentileEmptyIsZero) {
+  Histogram h;
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_EQ(snap.Percentile(0.99), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileMonotonicAndCappedAtMax) {
+  Histogram h;
+  for (uint64_t v : {3u, 17u, 17u, 90u, 250u, 1200u, 1200u, 9000u}) {
+    h.Observe(v);
+  }
+  Histogram::Snapshot snap = h.Snap();
+  double last = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double p = snap.Percentile(q);
+    EXPECT_GE(p, last) << "q=" << q;
+    EXPECT_LE(p, static_cast<double>(snap.max)) << "q=" << q;
+    last = p;
+  }
+  // p100 is exactly the observed max, not a bucket upper bound.
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 9000.0);
+}
+
+TEST(HistogramTest, SingleValuePercentiles) {
+  Histogram h;
+  h.Observe(42);
+  Histogram::Snapshot snap = h.Snap();
+  // Every quantile of a single observation is capped at that value.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 42.0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsCountsAndMax) {
+  Histogram a, b;
+  a.Observe(10);
+  a.Observe(100);
+  b.Observe(100);
+  b.Observe(5000);
+  Histogram::Snapshot sa = a.Snap();
+  Histogram::Snapshot sb = b.Snap();
+  sa.Merge(sb);
+  EXPECT_EQ(sa.count, 4u);
+  EXPECT_EQ(sa.sum, 10u + 100u + 100u + 5000u);
+  EXPECT_EQ(sa.max, 5000u);
+  EXPECT_EQ(sa.buckets[Histogram::BucketIndex(100)], 2u);
+  EXPECT_EQ(sa.buckets[Histogram::BucketIndex(5000)], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, SameNameAndLabelsSharesOneInstrument) {
+  Registry registry;
+  Counter* a = registry.GetCounter("dcws_test_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("dcws_test_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  a->Increment();
+  b->Increment(2);
+  EXPECT_EQ(a->Value(), 3u);
+}
+
+TEST(RegistryTest, LabelOrderInsensitive) {
+  Registry registry;
+  Counter* a = registry.GetCounter("dcws_test_total",
+                                   {{"x", "1"}, {"y", "2"}});
+  Counter* b = registry.GetCounter("dcws_test_total",
+                                   {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, DistinctLabelsAreDistinctSeries) {
+  Registry registry;
+  Counter* a = registry.GetCounter("dcws_test_total", {{"k", "a"}});
+  Counter* b = registry.GetCounter("dcws_test_total", {{"k", "b"}});
+  EXPECT_NE(a, b);
+  a->Increment();
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  // Sorted by (name, labels): {k=a} before {k=b}.
+  EXPECT_EQ(snaps[0].value, 1.0);
+  EXPECT_EQ(snaps[1].value, 0.0);
+}
+
+TEST(RegistryTest, TypeConflictReturnsDetachedInstrument) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("dcws_test_total");
+  counter->Increment(7);
+  // Asking for the same name as a gauge is a programming error; the
+  // caller still gets a usable (detached) cell and the registered
+  // counter keeps its value.
+  Gauge* gauge = registry.GetGauge("dcws_test_total");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 3.5);
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].type, MetricType::kCounter);
+  EXPECT_EQ(snaps[0].value, 7.0);
+}
+
+TEST(RegistryTest, CallbackGaugeReadsAtSnapshotTime) {
+  Registry registry;
+  double current = 1.0;
+  registry.AddCallbackGauge("dcws_test_size", {},
+                            [&current] { return current; });
+  EXPECT_EQ(registry.Snapshot()[0].value, 1.0);
+  current = 8.0;
+  EXPECT_EQ(registry.Snapshot()[0].value, 8.0);
+}
+
+TEST(RegistryTest, SnapshotSortedByNameThenLabels) {
+  Registry registry;
+  registry.GetCounter("dcws_zz_total");
+  registry.GetCounter("dcws_aa_total", {{"k", "b"}});
+  registry.GetCounter("dcws_aa_total", {{"k", "a"}});
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "dcws_aa_total");
+  EXPECT_EQ(snaps[0].labels, (Labels{{"k", "a"}}));
+  EXPECT_EQ(snaps[1].name, "dcws_aa_total");
+  EXPECT_EQ(snaps[1].labels, (Labels{{"k", "b"}}));
+  EXPECT_EQ(snaps[2].name, "dcws_zz_total");
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("dcws_test_total");
+  Histogram* hist = registry.GetHistogram("dcws_test_us");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->Snap().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MergeSnapshotsTest, SumsByNameAndLabels) {
+  Registry r1, r2;
+  r1.GetCounter("dcws_x_total", {{"k", "a"}})->Increment(2);
+  r2.GetCounter("dcws_x_total", {{"k", "a"}})->Increment(3);
+  r2.GetCounter("dcws_x_total", {{"k", "b"}})->Increment(5);
+  r1.GetHistogram("dcws_x_us")->Observe(10);
+  r2.GetHistogram("dcws_x_us")->Observe(90);
+  std::vector<MetricSnapshot> merged =
+      MergeSnapshots({r1.Snapshot(), r2.Snapshot()});
+  const MetricSnapshot* a = FindMetric(merged, "dcws_x_total", {{"k", "a"}});
+  const MetricSnapshot* b = FindMetric(merged, "dcws_x_total", {{"k", "b"}});
+  const MetricSnapshot* h = FindMetric(merged, "dcws_x_us");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(a->value, 5.0);
+  EXPECT_EQ(b->value, 5.0);
+  EXPECT_EQ(h->hist.count, 2u);
+  EXPECT_EQ(h->hist.max, 90u);
+}
+
+// ---------------------------------------------------------------------
+// Trace ids.
+
+TEST(TraceIdTest, FormatParseRoundTrip) {
+  for (TraceId id : {TraceId{1}, TraceId{0xdeadbeef},
+                     TraceId{0xffffffffffffffffULL}}) {
+    std::string text = FormatTraceId(id);
+    EXPECT_EQ(text.size(), 16u);
+    auto parsed = ParseTraceId(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_EQ(FormatTraceId(0xabc), "0000000000000abc");
+}
+
+TEST(TraceIdTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTraceId("").has_value());
+  EXPECT_FALSE(ParseTraceId("abc").has_value());                  // short
+  EXPECT_FALSE(ParseTraceId("0000000000000abcd").has_value());    // long
+  EXPECT_FALSE(ParseTraceId("zzzzzzzzzzzzzzzz").has_value());     // non-hex
+  EXPECT_FALSE(ParseTraceId("0000000000000000").has_value());     // zero
+  // Uppercase hex is accepted for robustness against peer formatting.
+  EXPECT_EQ(ParseTraceId("0000000000000ABC").value_or(0), 0xabcu);
+}
+
+TEST(TraceIdTest, GeneratorIsDeterministicAndNonZero) {
+  TraceIdGenerator a(SeedFromName("alpha:8001"));
+  TraceIdGenerator b(SeedFromName("alpha:8001"));
+  std::set<TraceId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    TraceId id = a.Next();
+    EXPECT_EQ(id, b.Next());
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in a short walk
+  // A differently-seeded server produces a different stream.
+  TraceIdGenerator c(SeedFromName("beta:8002"));
+  EXPECT_NE(c.Next(), TraceIdGenerator(SeedFromName("alpha:8001")).Next());
+}
+
+// ---------------------------------------------------------------------
+// Trace builder / ring.
+
+TEST(TraceBuilderTest, BuildsNestedSpans) {
+  TraceBuilder builder(42, "GET /a.html", "alpha:8001", 100);
+  builder.AddCompletedSpan("accept_wait", 90, 100);
+  int outer = builder.BeginSpan("local", 110);
+  int inner = builder.BeginSpan("rewrite", 120);
+  builder.Annotate(inner, "links=3");
+  builder.EndSpan(inner, 130);
+  builder.EndSpan(outer, 140);
+  Trace trace = builder.Finish(150, 200);
+
+  EXPECT_EQ(trace.id, 42u);
+  EXPECT_EQ(trace.status_code, 200);
+  EXPECT_EQ(trace.DurationMicros(), 50);
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].name, "accept_wait");
+  EXPECT_EQ(trace.spans[1].name, "local");
+  EXPECT_EQ(trace.spans[1].depth, 1);
+  EXPECT_EQ(trace.spans[2].name, "rewrite");
+  EXPECT_EQ(trace.spans[2].depth, 2);
+  EXPECT_EQ(trace.spans[2].note, "links=3");
+  EXPECT_EQ(trace.spans[2].end, 130);
+}
+
+TEST(TraceBuilderTest, FinishClosesOpenSpans) {
+  TraceBuilder builder(7, "GET /x", "alpha:8001", 0);
+  builder.BeginSpan("never_closed", 10);
+  Trace trace = builder.Finish(99, 503);
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].end, 99);
+}
+
+TEST(TraceBuilderTest, ScopedSpanToleratesNullBuilder) {
+  ManualClock clock;
+  // Must not crash; Annotate on a null builder is a no-op.
+  ScopedSpan span(nullptr, &clock, "noop");
+  span.Annotate("ignored");
+}
+
+TEST(TraceRingTest, EvictsOldestAtCapacity) {
+  TraceRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    Trace trace;
+    trace.id = static_cast<TraceId>(i);
+    ring.Add(std::move(trace));
+  }
+  EXPECT_EQ(ring.total_added(), 5u);
+  std::vector<Trace> snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].id, 3u);  // oldest surviving
+  EXPECT_EQ(snapshot[2].id, 5u);  // newest
+}
+
+TEST(TraceFormatTest, TextAndJsonCarryIdAndSpans) {
+  TraceBuilder builder(0xabc, "GET /a.html", "alpha:8001", 100);
+  int h = builder.BeginSpan("rewrite", 110);
+  builder.EndSpan(h, 130);
+  Trace trace = builder.Finish(150, 200);
+
+  std::string text = FormatTraceText(trace);
+  EXPECT_NE(text.find("0000000000000abc"), std::string::npos);
+  EXPECT_NE(text.find("rewrite"), std::string::npos);
+
+  std::string json = FormatTraceJson(trace);
+  EXPECT_NE(json.find("\"id\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(json.find("\"rewrite\""), std::string::npos);
+
+  std::string doc = FormatTracesJson({trace}, {});
+  EXPECT_NE(doc.find("\"recent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"slow\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Exporters.
+
+std::vector<MetricSnapshot> SampleSnapshots() {
+  Registry registry;
+  registry.GetCounter("dcws_requests_total", {{"outcome", "served_local"}})
+      ->Increment(12);
+  registry.GetGauge("dcws_documents")->Set(34);
+  Histogram* hist =
+      registry.GetHistogram("dcws_request_latency_us", {{"kind", "client"}});
+  hist->Observe(100);
+  hist->Observe(900);
+  return registry.Snapshot();
+}
+
+TEST(ExportTest, TextContainsSeriesAndQuantiles) {
+  std::string text = ExportText(SampleSnapshots());
+  EXPECT_NE(text.find("dcws_requests_total{outcome=\"served_local\"} 12"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dcws_documents"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(ExportTest, JsonCarriesTypesAndBuckets) {
+  std::string json = ExportJson(SampleSnapshots());
+  EXPECT_EQ(json.find("{\"metrics\":["), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"dcws_requests_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"served_local\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusHasTypeLinesAndCumulativeBuckets) {
+  std::string prom = ExportPrometheus(SampleSnapshots());
+  EXPECT_NE(prom.find("# TYPE dcws_requests_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE dcws_documents gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dcws_request_latency_us histogram"),
+            std::string::npos);
+  // Cumulative bucket series end at +Inf with the total count.
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("dcws_request_latency_us_count{kind=\"client\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dcws_request_latency_us_sum{kind=\"client\"} 1000"),
+            std::string::npos);
+  // Derived quantile gauges are scrapable without server-side math.
+  EXPECT_NE(prom.find("dcws_request_latency_us_p99"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusAppendsExtraLabelsToEverySeries) {
+  std::string prom =
+      ExportPrometheus(SampleSnapshots(), {{"server", "alpha:8001"}});
+  EXPECT_NE(prom.find("server=\"alpha:8001\""), std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "dcws_requests_total{outcome=\"served_local\",server=\"alpha:8001\"} 12"),
+      std::string::npos)
+      << prom;
+}
+
+TEST(ExportTest, FindMetricIsLabelOrderInsensitive) {
+  Registry registry;
+  registry.GetCounter("dcws_x_total", {{"a", "1"}, {"b", "2"}})
+      ->Increment(9);
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  const MetricSnapshot* found =
+      FindMetric(snaps, "dcws_x_total", {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value, 9.0);
+  EXPECT_EQ(FindMetric(snaps, "dcws_missing"), nullptr);
+  EXPECT_EQ(FindMetric(snaps, "dcws_x_total", {{"a", "1"}}), nullptr);
+}
+
+}  // namespace
+}  // namespace dcws::obs

@@ -291,9 +291,19 @@ TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
       (void)coop1_.coop_table().Snapshot();
       (void)coop1_.coop_table().HomeServers();
       (void)home_.replica_table().Replicas("/i.gif");
+      (void)home_.metrics().Snapshot();  // callback gauges read tables
+      (void)home_.recent_traces().Snapshot();
       http::Request status;
       status.target = "/~status";
       (void)network_.Execute(home_.address(), status);
+      // The introspection endpoints exercise registry snapshotting and
+      // both trace rings against the worker threads' hot-path updates.
+      http::Request dcws_status;
+      dcws_status.target = "/.dcws/status?format=prometheus";
+      (void)network_.Execute(home_.address(), dcws_status);
+      http::Request traces;
+      traces.target = "/.dcws/traces?format=json";
+      (void)network_.Execute(coop1_.address(), traces);
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   });

@@ -6,6 +6,8 @@
 #include "src/core/server.h"
 #include "src/http/url.h"
 #include "src/migrate/naming.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/util/clock.h"
 
 namespace dcws::core {
@@ -551,6 +553,126 @@ TEST_F(ReplicationTest, HotDocumentGainsReplicas) {
   EXPECT_NE(first.headers.Get("Location").value(),
             second.headers.Get("Location").value())
       << "home should rotate redirects across replicas";
+}
+
+
+// ------------------------------------------------------- introspection
+
+TEST_F(ServerTest, DcwsStatusSpeaksThreeFormats) {
+  Hammer("/a.html", 3);
+  home().HandleRequest(Get("/missing.html"), &net());
+
+  http::Response text = home().HandleRequest(Get("/.dcws/status"), &net());
+  ASSERT_EQ(text.status_code, 200);
+  EXPECT_EQ(text.headers.Get("Content-Type").value(), "text/plain");
+  EXPECT_NE(text.body.find("dcws_requests_total{outcome=\"served_local\"} 3"),
+            std::string::npos)
+      << text.body;
+  EXPECT_NE(text.body.find("dcws_requests_total{outcome=\"not_found\"} 1"),
+            std::string::npos);
+
+  http::Response json =
+      home().HandleRequest(Get("/.dcws/status?format=json"), &net());
+  ASSERT_EQ(json.status_code, 200);
+  EXPECT_EQ(json.headers.Get("Content-Type").value(), "application/json");
+  EXPECT_EQ(json.body.find("{\"metrics\":["), 0u);
+  EXPECT_NE(json.body.find("\"name\":\"dcws_request_latency_us\""),
+            std::string::npos);
+
+  http::Response prom = home().HandleRequest(
+      Get("/.dcws/status?format=prometheus"), &net());
+  ASSERT_EQ(prom.status_code, 200);
+  EXPECT_NE(prom.body.find("# TYPE dcws_requests_total counter"),
+            std::string::npos)
+      << prom.body;
+  // Every series carries the scrape-disambiguating server label.
+  EXPECT_NE(prom.body.find("server=\"" + home().address().ToString() +
+                           "\""),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("dcws_request_latency_us_p99"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, StatusGaugesTrackTables) {
+  auto snapshot = home().metrics().Snapshot();
+  const obs::MetricSnapshot* docs =
+      obs::FindMetric(snapshot, "dcws_documents");
+  ASSERT_NE(docs, nullptr);
+  EXPECT_EQ(docs->value, 4.0);  // the seeded site
+  const obs::MetricSnapshot* peers =
+      obs::FindMetric(snapshot, "dcws_glt_peers");
+  ASSERT_NE(peers, nullptr);
+  // The GLT holds every known server, including the self entry.
+  EXPECT_EQ(peers->value, 3.0);
+}
+
+TEST_F(ServerTest, DcwsTracesRecordsClientRequests) {
+  http::Response page = home().HandleRequest(Get("/a.html"), &net());
+  ASSERT_EQ(page.status_code, 200);
+
+  // The ring holds the trace with a parse + handler span tree.
+  std::vector<obs::Trace> recent = home().recent_traces().Snapshot();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].root, "GET /a.html");
+  EXPECT_NE(recent[0].id, 0u);
+  EXPECT_FALSE(recent[0].propagated);
+  bool saw_local = false;
+  for (const obs::Span& span : recent[0].spans) {
+    if (span.name == "local") saw_local = true;
+  }
+  EXPECT_TRUE(saw_local);
+
+  http::Response text = home().HandleRequest(Get("/.dcws/traces"), &net());
+  ASSERT_EQ(text.status_code, 200);
+  EXPECT_NE(text.body.find("GET /a.html"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find(obs::FormatTraceId(recent[0].id)),
+            std::string::npos);
+
+  http::Response json =
+      home().HandleRequest(Get("/.dcws/traces?format=json"), &net());
+  ASSERT_EQ(json.status_code, 200);
+  EXPECT_EQ(json.headers.Get("Content-Type").value(), "application/json");
+  EXPECT_NE(json.body.find("\"recent\""), std::string::npos);
+}
+
+TEST_F(ServerTest, TraceAdoptsPropagatedId) {
+  obs::TraceId id = 0x00ddcc0ffee12345ULL;
+  http::Request req = Get("/a.html");
+  req.headers.Set(std::string(http::kHeaderDcwsTrace),
+                  obs::FormatTraceId(id));
+  home().HandleRequest(req, &net());
+
+  std::vector<obs::Trace> recent = home().recent_traces().Snapshot();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].id, id);
+  EXPECT_TRUE(recent[0].propagated);
+}
+
+TEST_F(ServerTest, AdminTargetsStayOutOfTrafficMetrics) {
+  home().HandleRequest(Get("/.dcws/status"), &net());
+  home().HandleRequest(Get("/.dcws/traces"), &net());
+  home().HandleRequest(Get("/~status"), &net());
+
+  // Introspection polling must not pollute site-traffic series.
+  EXPECT_EQ(home().recent_traces().Snapshot().size(), 0u);
+  auto snapshot = home().metrics().Snapshot();
+  const obs::MetricSnapshot* latency = obs::FindMetric(
+      snapshot, "dcws_request_latency_us", {{"kind", "client"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->hist.count, 0u);
+}
+
+TEST_F(ServerTest, SlowRequestsLandInSlowRing) {
+  // Zero threshold: every traced request counts as slow.
+  ServerParams params = TestParams();
+  params.slow_trace_threshold = 0;
+  ManualClock clock(Seconds(1));
+  Cluster cluster(2, params, &clock);
+  std::vector<Document> site = {Doc("/p.html", "<p>x</p>")};
+  ASSERT_TRUE(cluster.server(0).LoadSite(site, {}).ok());
+  cluster.server(0).HandleRequest(Get("/p.html"), &cluster.network());
+  EXPECT_EQ(cluster.server(0).slow_traces().Snapshot().size(), 1u);
+  EXPECT_EQ(cluster.server(0).recent_traces().Snapshot().size(), 1u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/obs/export.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/experiment.h"
 #include "src/sim/sim_client.h"
@@ -257,6 +258,46 @@ TEST(SimClientTest, BacksOffAfterDrops) {
   EXPECT_GT(world.totals().drops, 0u);
   // The system keeps making progress despite drops.
   EXPECT_GT(world.totals().connections, 100u);
+}
+
+// ----------------------------------------------------------- Metrics
+
+// The registry's outcome family must reconcile exactly with what the
+// simulated clients observed: every client-opened connection lands in
+// one outcome, queue drops included (CountQueueDrop parity).
+TEST(SimWorldTest, MetricsReconcileWithClientTotals) {
+  SimConfig config;
+  config.params.socket_queue_length = 4;  // small backlog: force drops
+  SimWorld world(TinySite(), config);
+  auto clients = StartClients(&world, 24, /*seed=*/11);
+  world.queue().RunUntil(Seconds(60));
+  // Freeze new client traffic (swallow submissions) and let in-flight
+  // requests drain, so the server-side counts reconcile exactly.
+  world.SetSubmitInterceptor(
+      [](const http::ServerAddress&, const http::Request&,
+         SimHost::ResponseCallback) { return true; });
+  world.queue().RunUntil(Seconds(70));
+
+  const ClientTotals& totals = world.totals();
+  std::vector<obs::MetricSnapshot> merged = world.AggregateMetrics();
+  auto outcome = [&](const char* o) -> uint64_t {
+    const obs::MetricSnapshot* m =
+        obs::FindMetric(merged, "dcws_requests_total", {{"outcome", o}});
+    return m == nullptr ? 0 : static_cast<uint64_t>(m->value);
+  };
+  EXPECT_EQ(outcome("served_local") + outcome("served_coop"), totals.ok);
+  EXPECT_EQ(outcome("redirect"), totals.redirects);
+  EXPECT_EQ(outcome("overloaded") + outcome("dropped"), totals.drops);
+  EXPECT_EQ(outcome("not_found"), totals.failures);  // all hosts up
+  EXPECT_GT(totals.drops, 0u) << "config should have forced drops";
+
+  // Virtual-clock latency histograms populate in the sim path too.
+  const obs::MetricSnapshot* latency = obs::FindMetric(
+      merged, "dcws_request_latency_us", {{"kind", "client"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->hist.count, totals.ok + totals.redirects +
+                                     totals.failures +
+                                     outcome("overloaded"));
 }
 
 // ------------------------------------------------------------ Experiment

@@ -99,7 +99,7 @@ TEST_F(TcpTest, NotFoundAndBadRequests) {
 }
 
 TEST_F(TcpTest, StatusEndpointReports) {
-  TcpCall(home_port_, Get("/index.html"));
+  ASSERT_TRUE(TcpCall(home_port_, Get("/index.html")).ok());
   auto response = TcpCall(home_port_, Get("/~status"));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status_code, 200);

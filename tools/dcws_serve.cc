@@ -3,12 +3,17 @@
 //
 //   dcws_serve DOCROOT [--servers N] [--entry /index.html]
 //              [--duration SECONDS] [--stats-interval SECONDS]
+//              [--port BASE] [--status-interval SECONDS]
 //
-// Binds every server to an ephemeral 127.0.0.1 port (printed on
-// startup); server 1 is the home seeded from DOCROOT, the rest start as
-// empty co-ops.  Point a browser or curl at the home port; /~status on
-// any server shows its operational state.  Runs until the duration
-// elapses (default: forever).
+// Binds every server to a 127.0.0.1 port (printed on startup) — with
+// --port BASE, server i listens on BASE+i, otherwise ports are
+// ephemeral.  Server 1 is the home seeded from DOCROOT, the rest start
+// as empty co-ops.  Point a browser or curl at the home port; /~status
+// shows operational state, /.dcws/status the metric registry
+// (?format=text|json|prometheus) and /.dcws/traces recent request span
+// trees.  With --status-interval N, a one-line cluster summary (cps,
+// p99 latency, migrations) is printed every N seconds from the metrics
+// registry.  Runs until the duration elapses (default: forever).
 
 #include <csignal>
 #include <cstdio>
@@ -19,6 +24,7 @@
 
 #include "src/core/server.h"
 #include "src/net/tcp.h"
+#include "src/obs/export.h"
 #include "src/storage/fs.h"
 
 using namespace dcws;
@@ -32,8 +38,52 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dcws_serve DOCROOT [--servers N] [--entry PATH]\n"
-      "                  [--duration SECONDS] [--stats-interval SECONDS]\n");
+      "                  [--duration SECONDS] [--stats-interval SECONDS]\n"
+      "                  [--port BASE] [--status-interval SECONDS]\n");
   return 2;
+}
+
+// One-line cluster summary from the merged metric registries.
+void PrintStatusLine(
+    const std::vector<std::unique_ptr<dcws::core::Server>>& group,
+    long uptime_s) {
+  std::vector<std::vector<obs::MetricSnapshot>> per_server;
+  per_server.reserve(group.size());
+  for (const auto& server : group) {
+    per_server.push_back(server->metrics().Snapshot());
+  }
+  std::vector<obs::MetricSnapshot> merged =
+      obs::MergeSnapshots(per_server);
+  double cps = 0, p99 = 0;
+  unsigned long long served = 0, redirects = 0, migrations = 0;
+  if (const auto* m = obs::FindMetric(merged, "dcws_load_cps")) {
+    cps = m->value;
+  }
+  if (const auto* m = obs::FindMetric(merged, "dcws_request_latency_us",
+                                      {{"kind", "client"}})) {
+    p99 = m->hist.Percentile(0.99);
+  }
+  if (const auto* m = obs::FindMetric(merged, "dcws_requests_total",
+                                      {{"outcome", "served_local"}})) {
+    served += static_cast<unsigned long long>(m->value);
+  }
+  if (const auto* m = obs::FindMetric(merged, "dcws_requests_total",
+                                      {{"outcome", "served_coop"}})) {
+    served += static_cast<unsigned long long>(m->value);
+  }
+  if (const auto* m = obs::FindMetric(merged, "dcws_requests_total",
+                                      {{"outcome", "redirect"}})) {
+    redirects = static_cast<unsigned long long>(m->value);
+  }
+  if (const auto* m = obs::FindMetric(merged, "dcws_migrations_total",
+                                      {{"direction", "out"}})) {
+    migrations = static_cast<unsigned long long>(m->value);
+  }
+  std::printf(
+      "[stats +%lds] cps=%.1f p99=%.0fus served=%llu redirects=%llu "
+      "migrations=%llu\n",
+      uptime_s, cps, p99, served, redirects, migrations);
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -45,6 +95,8 @@ int main(int argc, char** argv) {
   std::string entry = "/index.html";
   long duration = 0;  // 0 = run until signal
   long stats_interval = 10;
+  long base_port = 0;       // 0 = ephemeral
+  long status_interval = 0;  // 0 = no periodic stats line
   for (int i = 2; i < argc; ++i) {
     auto next = [&](long& out) {
       if (i + 1 >= argc) return false;
@@ -60,11 +112,17 @@ int main(int argc, char** argv) {
       duration = value;
     } else if (!std::strcmp(argv[i], "--stats-interval") && next(value)) {
       stats_interval = value;
+    } else if (!std::strcmp(argv[i], "--port") && next(value)) {
+      base_port = value;
+    } else if (!std::strcmp(argv[i], "--status-interval") &&
+               next(value)) {
+      status_interval = value;
     } else {
       return Usage();
     }
   }
   if (servers < 1) return Usage();
+  if (base_port < 0 || base_port + servers > 65536) return Usage();
 
   auto documents = storage::LoadDirectory(docroot);
   if (!documents.ok()) {
@@ -111,7 +169,9 @@ int main(int argc, char** argv) {
 
   net::TcpNetwork network;
   for (size_t i = 0; i < group.size(); ++i) {
-    auto host = network.AddServer(group[i].get());
+    uint16_t listen_port =
+        base_port == 0 ? 0 : static_cast<uint16_t>(base_port + i);
+    auto host = network.AddServer(group[i].get(), listen_port);
     if (!host.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    host.status().ToString().c_str());
@@ -129,9 +189,14 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   long elapsed_ms = 0;
+  long next_status_ms = status_interval * 1000;
   while (!g_stop && (duration == 0 || elapsed_ms < duration * 1000)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     elapsed_ms += 100;
+    if (status_interval > 0 && elapsed_ms >= next_status_ms) {
+      PrintStatusLine(group, elapsed_ms / 1000);
+      next_status_ms += status_interval * 1000;
+    }
   }
 
   auto counters = group[0]->counters();
