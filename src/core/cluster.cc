@@ -7,6 +7,12 @@ void LoopbackNetwork::AddServer(Server* server) {
   servers_[server->address()] = server;
 }
 
+void LoopbackNetwork::RemoveServer(const http::ServerAddress& address) {
+  std::lock_guard lock(mutex_);
+  servers_.erase(address);
+  down_.erase(address);
+}
+
 void LoopbackNetwork::SetDown(const http::ServerAddress& address,
                               bool down) {
   std::lock_guard lock(mutex_);
@@ -71,6 +77,21 @@ Server& Cluster::AddServer() {
   network_.AddServer(server.get());
   servers_.push_back(std::move(server));
   return *servers_.back();
+}
+
+void Cluster::RemoveServer(size_t i) {
+  Server* victim = servers_[i].get();
+  const http::ServerAddress address = victim->address();
+  // Graceful drain: the victim's own placements come home first (so
+  // co-ops elsewhere drop their entries), then the survivors re-home
+  // anything they placed on the victim and forget it.
+  victim->RecallAll(&network_);
+  for (const auto& server : servers_) {
+    if (server.get() == victim) continue;
+    server->ForgetPeer(address, &network_);
+  }
+  network_.RemoveServer(address);
+  servers_.erase(servers_.begin() + static_cast<ptrdiff_t>(i));
 }
 
 void Cluster::TickAll() {

@@ -20,6 +20,9 @@ namespace dcws::core {
 class LoopbackNetwork : public PeerClient {
  public:
   void AddServer(Server* server);
+  // Unregisters a server (membership removal); subsequent calls to it
+  // fail NotFound, and any down marking is cleared.
+  void RemoveServer(const http::ServerAddress& address);
   void SetDown(const http::ServerAddress& address, bool down);
   bool IsDown(const http::ServerAddress& address) const;
 
@@ -55,6 +58,13 @@ class Cluster {
 
   // Adds another empty server to the group, peered with everyone.
   Server& AddServer();
+
+  // Removes server `i` from the running group with document re-homing:
+  // the victim first recalls its own migrated documents, every remaining
+  // server recalls documents placed on the victim and forgets it, and
+  // the victim is unregistered from the network.  Later servers shift
+  // down one index.
+  void RemoveServer(size_t i);
 
  private:
   ServerParams params_;

@@ -812,32 +812,7 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
   // Revocations: crashed co-ops and load-shifted placements (§4.5).
   for (const std::string& doc :
        home_policy_.DocsToRevoke(migrated, glt_, load, down, now)) {
-    auto record = ldg_.Brief(doc);
-    if (!record.ok()) continue;
-    http::ServerAddress coop = record->location;
-    std::vector<http::ServerAddress> holders =
-        replica_table_.Replicas(doc);
-    if (std::find(holders.begin(), holders.end(), coop) ==
-        holders.end()) {
-      holders.push_back(coop);
-    }
-    if (!ldg_.SetLocation(doc, self_).ok()) continue;
-    home_policy_.RecordRevocation(doc);
-    replica_table_.Clear(doc);
-    ctr_revocations_->Increment();
-    // Tell the (reachable) holders; best effort.
-    for (const http::ServerAddress& holder : holders) {
-      if (std::find(down.begin(), down.end(), holder) != down.end()) {
-        continue;
-      }
-      http::Request revoke;
-      revoke.method = "GET";
-      revoke.target = MigrateToRevokeTarget(
-          migrate::EncodeMigratedTarget(self_, doc));
-      revoke.headers.Set(std::string(http::kHeaderDcwsInternal),
-                         "revoke");
-      (void)InternalCall(peers, holder, std::move(revoke));
-    }
+    RecallDocument(doc, peers, down);
   }
 
   // At most one logical migration per statistics interval (§5.2).
@@ -846,7 +821,7 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
   std::optional<migrate::HomeMigrationPolicy::Decision> decision;
   if (load >= params_.min_load_cps) {
     decision = home_policy_.Decide(ldg_.SelectionSnapshot(), glt_, load,
-                                   now);
+                                   now, down);
   }
   if (decision.has_value()) {
     if (ldg_.SetLocation(decision->doc, decision->target).ok()) {
@@ -929,6 +904,77 @@ void Server::RunStatistics(PeerClient* peers, MicroTime now) {
   }
 
   ldg_.ResetWindowHits();
+}
+
+void Server::RecallDocument(
+    const std::string& doc, PeerClient* peers,
+    const std::vector<http::ServerAddress>& skip_notify) {
+  auto record = ldg_.Brief(doc);
+  if (!record.ok()) return;
+  http::ServerAddress coop = record->location;
+  if (coop == self_) return;  // already home
+  std::vector<http::ServerAddress> holders =
+      replica_table_.Replicas(doc);
+  if (std::find(holders.begin(), holders.end(), coop) ==
+      holders.end()) {
+    holders.push_back(coop);
+  }
+  if (!ldg_.SetLocation(doc, self_).ok()) return;
+  home_policy_.RecordRevocation(doc);
+  replica_table_.Clear(doc);
+  ctr_revocations_->Increment();
+  // Tell the (reachable) holders; best effort.
+  for (const http::ServerAddress& holder : holders) {
+    if (std::find(skip_notify.begin(), skip_notify.end(), holder) !=
+        skip_notify.end()) {
+      continue;
+    }
+    http::Request revoke;
+    revoke.method = "GET";
+    revoke.target = MigrateToRevokeTarget(
+        migrate::EncodeMigratedTarget(self_, doc));
+    revoke.headers.Set(std::string(http::kHeaderDcwsInternal),
+                       "revoke");
+    (void)InternalCall(peers, holder, std::move(revoke));
+  }
+}
+
+void Server::ForgetPeer(const http::ServerAddress& peer,
+                        PeerClient* peers) {
+  MutexLock duty_lock(duty_mutex_);
+  std::vector<http::ServerAddress> skip = pinger_.DownPeers();
+  if (std::find(skip.begin(), skip.end(), peer) == skip.end()) {
+    skip.push_back(peer);  // never notify the departing server itself
+  }
+  for (const graph::LocalDocumentGraph::MigratedView& record :
+       ldg_.MigratedSnapshot()) {
+    std::vector<http::ServerAddress> holders =
+        replica_table_.Replicas(record.name);
+    bool replica_at_peer = std::find(holders.begin(), holders.end(),
+                                     peer) != holders.end();
+    if (record.location == peer) {
+      // Primary placement at the departing server: full recall.
+      RecallDocument(record.name, peers, skip);
+    } else if (replica_at_peer) {
+      // Only a replica lived there: shrink the set and dirty dependents
+      // so regenerated hyperlinks stop naming the departed server.
+      replica_table_.RemoveReplica(record.name, peer);
+      (void)ldg_.TouchLinkFrom(record.name);
+    }
+  }
+  glt_.RemovePeer(peer);
+  pinger_.Forget(peer);
+  DCWS_LOG(kInfo) << self_.ToString() << " forgets peer "
+                  << peer.ToString();
+}
+
+void Server::RecallAll(PeerClient* peers) {
+  MutexLock duty_lock(duty_mutex_);
+  std::vector<http::ServerAddress> down = pinger_.DownPeers();
+  for (const graph::LocalDocumentGraph::MigratedView& record :
+       ldg_.MigratedSnapshot()) {
+    RecallDocument(record.name, peers, down);
+  }
 }
 
 void Server::RunValidationSweep(PeerClient* peers, MicroTime now) {

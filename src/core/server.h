@@ -88,6 +88,20 @@ class Server {
   // Makes a cooperating server known to the GLT.
   void RegisterPeer(const http::ServerAddress& peer);
 
+  // ---- membership changes (cluster control) ----
+  // Handles `peer` leaving the server group: every document currently
+  // placed at it (primary placement or replica) is recalled — logical
+  // location back here, dependents dirtied — and the peer is dropped
+  // from the GLT and pinger tables so it is never again selected as a
+  // co-op target.  Remaining replica holders are notified best-effort.
+  // Safe to call while worker threads serve requests.
+  void ForgetPeer(const http::ServerAddress& peer, PeerClient* peers);
+
+  // Recalls every document this server has migrated out, notifying
+  // reachable holders (graceful self-drain before this server leaves
+  // the cluster, so co-ops do not keep revalidating against a ghost).
+  void RecallAll(PeerClient* peers);
+
   // ---- request path (worker threads) ----
   http::Response HandleRequest(const http::Request& request,
                                PeerClient* peers,
@@ -129,6 +143,7 @@ class Server {
   storage::DocumentStore& store() { return store_; }
   migrate::CoopHostTable& coop_table() { return coop_table_; }
   migrate::ReplicaTable& replica_table() { return replica_table_; }
+  load::PingerPolicy& pinger() { return pinger_; }
   // The server's metric registry (counters, gauges, latency histograms;
   // schema in DESIGN.md "Observability").  Also rendered live at
   // GET /.dcws/status?format=text|json|prometheus.
@@ -215,6 +230,14 @@ class Server {
   Result<http::Response> InternalCall(PeerClient* peers,
                                       const http::ServerAddress& target,
                                       http::Request request);
+
+  // Recalls one migrated document: logical location back to self,
+  // replica set cleared, reachable holders told to revoke (addresses in
+  // `skip_notify` are not contacted).  Shared by the §4.5 revocation
+  // sweep and the membership-change paths.
+  void RecallDocument(const std::string& doc, PeerClient* peers,
+                      const std::vector<http::ServerAddress>& skip_notify)
+      DCWS_REQUIRES(duty_mutex_);
 
   // -- periodic duties (Tick holds duty_mutex_ across each of these) --
   void RunStatistics(PeerClient* peers, MicroTime now)

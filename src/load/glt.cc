@@ -6,12 +6,20 @@ namespace dcws::load {
 
 void GlobalLoadTable::RegisterPeer(const http::ServerAddress& server) {
   MutexLock lock(mutex_);
+  removed_.erase(server);  // administered re-join clears the tombstone
   entries_.try_emplace(server, LoadEntry{server, 0, -1});
+}
+
+void GlobalLoadTable::RemovePeer(const http::ServerAddress& server) {
+  MutexLock lock(mutex_);
+  entries_.erase(server);
+  removed_.insert(server);
 }
 
 void GlobalLoadTable::Update(const http::ServerAddress& server,
                              double load_metric, MicroTime updated_at) {
   MutexLock lock(mutex_);
+  if (removed_.contains(server)) return;
   auto [it, inserted] =
       entries_.try_emplace(server, LoadEntry{server, load_metric,
                                              updated_at});

@@ -2,6 +2,7 @@
 #define DCWS_LOAD_GLT_H_
 
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,13 @@ class GlobalLoadTable {
   // time: the server group membership is administrated, §3.2).
   void RegisterPeer(const http::ServerAddress& server);
 
+  // Drops `server` from the table (membership removal at runtime); a
+  // forgotten peer is no longer a co-op candidate or a probe target.
+  // Removal leaves a tombstone so piggybacked third-party views that
+  // still mention the departed server cannot resurrect its row; only an
+  // explicit RegisterPeer (administered re-join, §3.2) clears it.
+  void RemovePeer(const http::ServerAddress& server);
+
   // Records a fresh observation.  Older observations (per updated_at)
   // never overwrite newer ones, so out-of-order piggybacks are harmless.
   void Update(const http::ServerAddress& server, double load_metric,
@@ -64,6 +72,8 @@ class GlobalLoadTable {
   std::unordered_map<http::ServerAddress, LoadEntry,
                      http::ServerAddressHash>
       entries_ DCWS_GUARDED_BY(mutex_);
+  // Tombstones from RemovePeer; Update ignores these addresses.
+  std::set<http::ServerAddress> removed_ DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::load

@@ -21,6 +21,7 @@ std::vector<http::ServerAddress> PingerPolicy::PeersToProbe(
 void PingerPolicy::RecordProbeResult(const http::ServerAddress& peer,
                                      bool success) {
   MutexLock lock(mutex_);
+  if (injected_failures_.contains(peer)) success = false;
   if (success) {
     consecutive_failures_.erase(peer);
   } else {
@@ -51,6 +52,35 @@ std::vector<http::ServerAddress> PingerPolicy::DownPeers() const {
   }
   std::sort(down.begin(), down.end());
   return down;
+}
+
+int PingerPolicy::ConsecutiveFailures(
+    const http::ServerAddress& peer) const {
+  MutexLock lock(mutex_);
+  auto it = consecutive_failures_.find(peer);
+  return it == consecutive_failures_.end() ? 0 : it->second;
+}
+
+void PingerPolicy::InjectProbeFailure(const http::ServerAddress& peer,
+                                      bool fail) {
+  MutexLock lock(mutex_);
+  if (fail) {
+    injected_failures_.insert(peer);
+  } else {
+    injected_failures_.erase(peer);
+  }
+}
+
+bool PingerPolicy::IsProbeFailureInjected(
+    const http::ServerAddress& peer) const {
+  MutexLock lock(mutex_);
+  return injected_failures_.contains(peer);
+}
+
+void PingerPolicy::Forget(const http::ServerAddress& peer) {
+  MutexLock lock(mutex_);
+  consecutive_failures_.erase(peer);
+  injected_failures_.erase(peer);
 }
 
 }  // namespace dcws::load

@@ -1,6 +1,7 @@
 #ifndef DCWS_LOAD_PINGER_H_
 #define DCWS_LOAD_PINGER_H_
 
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,25 @@ class PingerPolicy {
   std::vector<http::ServerAddress> DownPeers() const
       DCWS_EXCLUDES(mutex_);
 
+  // Current failure streak for `peer` (0 when never failed or cleared).
+  int ConsecutiveFailures(const http::ServerAddress& peer) const
+      DCWS_EXCLUDES(mutex_);
+
+  // ---- failure injection (chaos/cluster-control harness) ----
+  // While injected, every result recorded for `peer` — pinger probes,
+  // piggyback absorptions, co-op fetch outcomes alike — counts as a
+  // failure, modelling a pinger-level partition in which data traffic
+  // still flows but liveness evidence is lost.  Lifting the injection
+  // restores normal accounting; the next genuine success clears any
+  // accumulated down state.
+  void InjectProbeFailure(const http::ServerAddress& peer, bool fail)
+      DCWS_EXCLUDES(mutex_);
+  bool IsProbeFailureInjected(const http::ServerAddress& peer) const
+      DCWS_EXCLUDES(mutex_);
+
+  // Drops all state for `peer` (cluster membership removal).
+  void Forget(const http::ServerAddress& peer) DCWS_EXCLUDES(mutex_);
+
   const Config& config() const { return config_; }
 
  private:
@@ -62,6 +82,8 @@ class PingerPolicy {
   mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, int, http::ServerAddressHash>
       consecutive_failures_ DCWS_GUARDED_BY(mutex_);
+  std::set<http::ServerAddress> injected_failures_
+      DCWS_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcws::load

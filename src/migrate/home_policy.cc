@@ -7,7 +7,8 @@ namespace dcws::migrate {
 
 std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
     const std::vector<graph::LocalDocumentGraph::SelectionView>& views,
-    const load::GlobalLoadTable& glt, double own_load, MicroTime now) {
+    const load::GlobalLoadTable& glt, double own_load, MicroTime now,
+    const std::vector<http::ServerAddress>& down_peers) {
   if (own_load < config_.min_load_cps) return std::nullopt;
   if (last_migration_ >= 0 &&
       now - last_migration_ < config_.migration_interval) {
@@ -27,6 +28,10 @@ std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
 
   for (const load::LoadEntry& peer : peers) {
     if (peer.server == self_) continue;
+    if (std::find(down_peers.begin(), down_peers.end(), peer.server) !=
+        down_peers.end()) {
+      continue;
+    }
     if (own_load <= config_.imbalance_factor * peer.load_metric) {
       // Peers are sorted by load: if the least-loaded does not justify a
       // migration, none will.
@@ -46,7 +51,8 @@ std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
 
 std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
     const std::vector<graph::DocumentRecord>& snapshot,
-    const load::GlobalLoadTable& glt, double own_load, MicroTime now) {
+    const load::GlobalLoadTable& glt, double own_load, MicroTime now,
+    const std::vector<http::ServerAddress>& down_peers) {
   std::unordered_map<std::string_view, const graph::DocumentRecord*>
       index;
   index.reserve(snapshot.size());
@@ -68,7 +74,7 @@ std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
     }
     views.push_back(std::move(view));
   }
-  return Decide(views, glt, own_load, now);
+  return Decide(views, glt, own_load, now, down_peers);
 }
 
 void HomeMigrationPolicy::RecordMigration(const Decision& decision,

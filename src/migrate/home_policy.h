@@ -52,14 +52,18 @@ class HomeMigrationPolicy {
   // Called once per statistics recalculation with a fresh selection
   // snapshot, the current GLT view and our own load metric.  Returns at
   // most one migration (the paper migrates at most one file per
-  // interval).
+  // interval).  `down_peers` are never chosen as targets: migrating to
+  // a peer the pinger has declared down would be revoked on the very
+  // next statistics pass, an oscillation the chaos suite provoked.
   std::optional<Decision> Decide(
       const std::vector<graph::LocalDocumentGraph::SelectionView>& views,
-      const load::GlobalLoadTable& glt, double own_load, MicroTime now);
+      const load::GlobalLoadTable& glt, double own_load, MicroTime now,
+      const std::vector<http::ServerAddress>& down_peers = {});
   // Adapter from full DocumentRecord snapshots (tests and tools).
   std::optional<Decision> Decide(
       const std::vector<graph::DocumentRecord>& snapshot,
-      const load::GlobalLoadTable& glt, double own_load, MicroTime now);
+      const load::GlobalLoadTable& glt, double own_load, MicroTime now,
+      const std::vector<http::ServerAddress>& down_peers = {});
 
   // Commits the decision into the policy's timing state.  The caller
   // separately updates the LDG (SetLocation) — kept apart so tests can

@@ -15,6 +15,7 @@ void InprocServerHost::Start() {
   if (running_) return;
   running_ = true;
   stopping_ = false;
+  draining_ = false;
   int workers = server_->params().worker_threads;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -29,13 +30,29 @@ void InprocServerHost::Stop() {
     if (!running_) return;
     stopping_ = true;
   }
+  StopThreads();
+}
+
+void InprocServerHost::Drain() {
+  {
+    MutexLock lock(mutex_);
+    if (!running_) return;
+    draining_ = true;
+    // Workers notify after every pop; wait for the queue to empty.
+    while (!queue_.empty() && !stopping_) queue_cv_.Wait(mutex_);
+    stopping_ = true;
+  }
+  StopThreads();
+}
+
+void InprocServerHost::StopThreads() {
   queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   if (duty_thread_.joinable()) duty_thread_.join();
   {
     MutexLock lock(mutex_);
-    // Fail whatever is still queued.
+    // Fail whatever is still queued (empty after a drain).
     for (auto& job : queue_) {
       job->promise.set_value(
           Status::Unavailable("server stopped: " +
@@ -51,7 +68,7 @@ Result<http::Response> InprocServerHost::Call(
   std::future<Result<http::Response>> future;
   {
     MutexLock lock(mutex_);
-    if (!running_ || stopping_) {
+    if (!running_ || stopping_ || draining_) {
       return Status::Unavailable("server not running: " +
                                  server_->address().ToString());
     }
@@ -83,6 +100,8 @@ void InprocServerHost::WorkerLoop() {
       if (stopping_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      // A Drain() waiter watches for the queue to empty.
+      if (queue_.empty()) queue_cv_.NotifyAll();
     }
     // The handler may itself call back into the network (co-op fetch),
     // blocking this worker on another host's queue — exactly as a real
@@ -136,6 +155,22 @@ InprocServerHost* InprocNetwork::Find(
   MutexLock lock(mutex_);
   auto it = hosts_.find(address);
   return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void InprocNetwork::RemoveServer(const http::ServerAddress& address) {
+  std::unique_ptr<InprocServerHost> host;
+  {
+    MutexLock lock(mutex_);
+    auto it = hosts_.find(address);
+    if (it == hosts_.end()) return;
+    host = std::move(it->second);
+    hosts_.erase(it);
+    down_.erase(address);
+  }
+  // Drain outside the map lock (workers may be blocked in Execute).
+  host->Drain();
+  MutexLock lock(mutex_);
+  retired_.push_back(std::move(host));
 }
 
 void InprocNetwork::SetDown(const http::ServerAddress& address,

@@ -33,10 +33,17 @@ class InprocServerHost {
   InprocServerHost& operator=(const InprocServerHost&) = delete;
 
   void Start();
+  // Abrupt kill: in-flight requests complete, queued requests fail
+  // Unavailable (the crash ate them).  Start() afterwards restarts the
+  // host against the same Server state — a process restart whose
+  // document store survived.
   void Stop();
+  // Graceful drain: new calls are refused Unavailable, queued requests
+  // are served to completion, then the threads stop.
+  void Drain();
   bool running() const {
     MutexLock lock(mutex_);
-    return running_;
+    return running_ && !stopping_ && !draining_;
   }
 
   core::Server& server() { return *server_; }
@@ -57,6 +64,7 @@ class InprocServerHost {
 
   void WorkerLoop();
   void DutyLoop();
+  void StopThreads();
 
   core::Server* server_;
   InprocNetwork* network_;
@@ -66,6 +74,7 @@ class InprocServerHost {
   std::deque<std::unique_ptr<Job>> queue_ DCWS_GUARDED_BY(mutex_);
   bool running_ DCWS_GUARDED_BY(mutex_) = false;
   bool stopping_ DCWS_GUARDED_BY(mutex_) = false;
+  bool draining_ DCWS_GUARDED_BY(mutex_) = false;
   uint64_t accepted_ DCWS_GUARDED_BY(mutex_) = 0;
   uint64_t dropped_ DCWS_GUARDED_BY(mutex_) = 0;
 
@@ -89,6 +98,12 @@ class InprocNetwork : public core::PeerClient {
 
   InprocServerHost* Find(const http::ServerAddress& address) const;
 
+  // Membership removal: drains the host and unregisters the address so
+  // later calls fail NotFound.  The host object is retired, not
+  // destroyed, because a concurrent Execute may still be blocked in its
+  // Call — it stays alive (stopped) until the network is destroyed.
+  void RemoveServer(const http::ServerAddress& address);
+
   void SetDown(const http::ServerAddress& address, bool down);
   bool IsDown(const http::ServerAddress& address) const;
 
@@ -103,6 +118,9 @@ class InprocNetwork : public core::PeerClient {
                      std::unique_ptr<InprocServerHost>,
                      http::ServerAddressHash>
       hosts_ DCWS_GUARDED_BY(mutex_);
+  // Hosts removed from the address map but kept alive for stragglers.
+  std::vector<std::unique_ptr<InprocServerHost>> retired_
+      DCWS_GUARDED_BY(mutex_);
   std::set<http::ServerAddress> down_ DCWS_GUARDED_BY(mutex_);
 };
 

@@ -168,8 +168,57 @@ Result<TcpServerHost*> TcpNetwork::AddServer(core::Server* server,
   TcpServerHost* raw = host.get();
   MutexLock lock(mutex_);
   ports_[server->address()] = raw->port();
-  hosts_.push_back(std::move(host));
+  hosts_[server->address()] = std::move(host);
   return raw;
+}
+
+bool TcpNetwork::StopServer(const http::ServerAddress& address) {
+  std::unique_ptr<TcpServerHost> host;
+  {
+    MutexLock lock(mutex_);
+    auto it = hosts_.find(address);
+    if (it == hosts_.end()) return false;
+    host = std::move(it->second);
+    hosts_.erase(it);
+    // ports_ keeps the entry: dials now get connection-refused.
+  }
+  // Stop outside the lock — in-flight ServeConnection handlers may call
+  // back into Execute/Resolve.
+  host->Stop();
+  MutexLock lock(mutex_);
+  retired_.push_back(std::move(host));
+  return true;
+}
+
+Result<TcpServerHost*> TcpNetwork::StartServer(core::Server* server) {
+  uint16_t port = 0;
+  {
+    MutexLock lock(mutex_);
+    auto it = ports_.find(server->address());
+    if (it == ports_.end()) {
+      return Status::NotFound("server never added: " +
+                              server->address().ToString());
+    }
+    if (hosts_.contains(server->address())) {
+      return Status::FailedPrecondition("server already running: " +
+                                        server->address().ToString());
+    }
+    port = it->second;
+  }
+  // SO_REUSEADDR on the listener makes rebinding the same port safe even
+  // with lingering TIME_WAIT connections from the previous incarnation.
+  DCWS_ASSIGN_OR_RETURN(std::unique_ptr<TcpServerHost> host,
+                        TcpServerHost::Start(server, this, port));
+  TcpServerHost* raw = host.get();
+  MutexLock lock(mutex_);
+  hosts_[server->address()] = std::move(host);
+  return raw;
+}
+
+bool TcpNetwork::RemoveServer(const http::ServerAddress& address) {
+  bool stopped = StopServer(address);
+  MutexLock lock(mutex_);
+  return ports_.erase(address) > 0 || stopped;
 }
 
 uint16_t TcpNetwork::Resolve(const http::ServerAddress& address) const {
@@ -182,7 +231,7 @@ void TcpNetwork::StopAll() {
   std::vector<TcpServerHost*> hosts;
   {
     MutexLock lock(mutex_);
-    for (auto& host : hosts_) hosts.push_back(host.get());
+    for (auto& [address, host] : hosts_) hosts.push_back(host.get());
   }
   for (TcpServerHost* host : hosts) host->Stop();
 }

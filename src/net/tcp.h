@@ -92,6 +92,22 @@ class TcpNetwork : public core::PeerClient {
   Result<TcpServerHost*> AddServer(core::Server* server,
                                    uint16_t listen_port = 0);
 
+  // Crash-kills the host for `address`: listener closed, threads
+  // stopped.  The name stays registered, so peers dialing it see
+  // connection-refused (Unavailable) — a crashed machine, not a
+  // deconfigured one.  Returns false if the name is unknown or already
+  // stopped.
+  bool StopServer(const http::ServerAddress& address);
+
+  // Restarts a previously stopped server on the SAME loopback port the
+  // name already resolves to (its Server state survives, like a process
+  // restart over a durable document store).
+  Result<TcpServerHost*> StartServer(core::Server* server);
+
+  // Membership removal: stops the host and unregisters the name so
+  // later dials fail NotFound.
+  bool RemoveServer(const http::ServerAddress& address);
+
   // The loopback port a server name resolves to (0 if unknown).
   uint16_t Resolve(const http::ServerAddress& address) const;
 
@@ -105,7 +121,13 @@ class TcpNetwork : public core::PeerClient {
   std::unordered_map<http::ServerAddress, uint16_t,
                      http::ServerAddressHash>
       ports_ DCWS_GUARDED_BY(mutex_);
-  std::vector<std::unique_ptr<TcpServerHost>> hosts_
+  std::unordered_map<http::ServerAddress,
+                     std::unique_ptr<TcpServerHost>,
+                     http::ServerAddressHash>
+      hosts_ DCWS_GUARDED_BY(mutex_);
+  // Stopped hosts kept alive until network destruction (a straggler may
+  // still hold a pointer returned by AddServer/StartServer).
+  std::vector<std::unique_ptr<TcpServerHost>> retired_
       DCWS_GUARDED_BY(mutex_);
 };
 

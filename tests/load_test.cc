@@ -285,5 +285,59 @@ TEST(PingerTest, EmptyGltYieldsNoProbes) {
   EXPECT_FALSE(pinger.IsDown(kS1));  // never-seen peer is not down
 }
 
+TEST(PingerTest, FailureStreakExactlyAtThresholdBoundary) {
+  // The declared-down transition happens exactly AT max failures, never
+  // one short of it, and the streak counter is observable at each step.
+  PingerPolicy pinger({Seconds(20), 3});
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 0);
+  pinger.RecordProbeResult(kS2, false);
+  pinger.RecordProbeResult(kS2, false);
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 2);
+  EXPECT_FALSE(pinger.IsDown(kS2)) << "threshold - 1 must stay up";
+  pinger.RecordProbeResult(kS2, false);
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 3);
+  EXPECT_TRUE(pinger.IsDown(kS2)) << "threshold must tip it";
+  // Extra failures past the threshold keep it down, monotonically.
+  pinger.RecordProbeResult(kS2, false);
+  EXPECT_TRUE(pinger.IsDown(kS2));
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 4);
+}
+
+TEST(PingerTest, InjectedProbeFailureForcesEveryResultToFailure) {
+  // The chaos harness's pinger partition: while injected, successes
+  // recorded about the peer (probes, piggyback receipts, fetch
+  // outcomes) count as failures — data flows, liveness evidence lost.
+  PingerPolicy pinger({Seconds(20), 2});
+  EXPECT_FALSE(pinger.IsProbeFailureInjected(kS2));
+  pinger.InjectProbeFailure(kS2, true);
+  EXPECT_TRUE(pinger.IsProbeFailureInjected(kS2));
+  pinger.RecordProbeResult(kS2, true);
+  pinger.RecordProbeResult(kS2, true);
+  EXPECT_TRUE(pinger.IsDown(kS2));
+
+  // Healing the partition does not by itself bring the peer back ...
+  pinger.InjectProbeFailure(kS2, false);
+  EXPECT_FALSE(pinger.IsProbeFailureInjected(kS2));
+  EXPECT_TRUE(pinger.IsDown(kS2));
+  // ... only fresh traffic-carried evidence does.
+  pinger.RecordProbeResult(kS2, true);
+  EXPECT_FALSE(pinger.IsDown(kS2));
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 0);
+}
+
+TEST(PingerTest, ForgetDropsAllStateForPeer) {
+  // Membership removal: a forgotten peer leaves no down marking, no
+  // failure streak, and no injection flag behind.
+  PingerPolicy pinger({Seconds(20), 1});
+  pinger.InjectProbeFailure(kS2, true);
+  pinger.RecordProbeResult(kS2, true);
+  ASSERT_TRUE(pinger.IsDown(kS2));
+  pinger.Forget(kS2);
+  EXPECT_FALSE(pinger.IsDown(kS2));
+  EXPECT_EQ(pinger.ConsecutiveFailures(kS2), 0);
+  EXPECT_FALSE(pinger.IsProbeFailureInjected(kS2));
+  EXPECT_TRUE(pinger.DownPeers().empty());
+}
+
 }  // namespace
 }  // namespace dcws

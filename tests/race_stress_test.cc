@@ -20,6 +20,7 @@
 #include "src/migrate/naming.h"
 #include "src/net/inproc.h"
 #include "src/util/rng.h"
+#include "tests/harness/cluster_harness.h"
 
 namespace dcws {
 namespace {
@@ -174,14 +175,26 @@ TEST(RaceStressTest, ReplicaTableConcurrentRotationStaysInSet) {
 // Cluster-level stress: a three-server in-process cluster under client
 // load while migration, piggybacking, validation sweeps, the pinger,
 // author updates, crash injection and introspection all run at once.
+// Built on the reusable ClusterHarness so convergence is asserted via
+// its polling predicates (WaitSync) instead of sleeps.
 // ---------------------------------------------------------------------
 
 class ClusterStressTest : public ::testing::Test {
  protected:
+  static test::ClusterHarness::Options StressOptions() {
+    test::ClusterHarness::Options options;
+    options.servers = 3;
+    options.params = StressParams();
+    options.host_prefix = "stress";
+    options.base_port = 9001;
+    return options;
+  }
+
   ClusterStressTest()
-      : home_({"alpha", 9001}, StressParams(), &clock_),
-        coop1_({"beta", 9002}, StressParams(), &clock_),
-        coop2_({"gamma", 9003}, StressParams(), &clock_) {
+      : harness_(StressOptions()),
+        home_(harness_.server(0)),
+        coop1_(harness_.server(1)),
+        coop2_(harness_.server(2)) {
     std::vector<storage::Document> site;
     site.push_back(Doc("/index.html",
                        "<a href=\"a.html\">a</a><a href=\"b.html\">b</a>"
@@ -192,25 +205,14 @@ class ClusterStressTest : public ::testing::Test {
     site.push_back(Doc("/c.html", "<p>c</p>"));
     site.push_back(Doc("/i.gif", std::string(2000, 'I')));
     EXPECT_TRUE(home_.LoadSite(site, {"/index.html"}).ok());
-
-    core::Server* servers[] = {&home_, &coop1_, &coop2_};
-    for (core::Server* a : servers) {
-      for (core::Server* b : servers) {
-        if (a != b) a->RegisterPeer(b->address());
-      }
-    }
-    network_.AddServer(&home_);
-    network_.AddServer(&coop1_);
-    network_.AddServer(&coop2_);
   }
 
-  ~ClusterStressTest() override { network_.StopAll(); }
+  core::PeerClient& network() { return harness_.network(); }
 
-  WallClock clock_;
-  core::Server home_;
-  core::Server coop1_;
-  core::Server coop2_;
-  net::InprocNetwork network_;
+  test::ClusterHarness harness_;
+  core::Server& home_;
+  core::Server& coop1_;
+  core::Server& coop2_;
 };
 
 TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
@@ -233,7 +235,7 @@ TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
       for (int i = 0; i < kRequestsPerClient; ++i) {
         http::Request request;
         request.target = paths[rng.NextBelow(std::size(paths))];
-        auto response = network_.Execute(home_.address(), request);
+        auto response = network().Execute(home_.address(), request);
         if (!response.ok()) {
           transport_errors.fetch_add(1);
           continue;
@@ -249,7 +251,7 @@ TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
           if (url.ok()) {
             http::Request follow;
             follow.target = url->path;
-            (void)network_.Execute({url->host, url->port}, follow);
+            (void)network().Execute({url->host, url->port}, follow);
           }
         }
       }
@@ -269,13 +271,13 @@ TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
     }
   });
 
-  // Chaos thread: bounce gamma so pinger failure counting, down-peer
-  // revocation, and best-effort stale serves all engage.
+  // Chaos thread: bounce the third server so pinger failure counting,
+  // down-peer revocation, and best-effort stale serves all engage.
   threads.emplace_back([&]() {
     while (!stop.load()) {
-      network_.SetDown(coop2_.address(), true);
+      harness_.StopServer(2, test::ClusterHarness::StopMode::kAbrupt);
       std::this_thread::sleep_for(std::chrono::milliseconds(120));
-      network_.SetDown(coop2_.address(), false);
+      harness_.StartServer(2);
       std::this_thread::sleep_for(std::chrono::milliseconds(120));
     }
   });
@@ -295,15 +297,15 @@ TEST_F(ClusterStressTest, FullClusterUnderConcurrentDuties) {
       (void)home_.recent_traces().Snapshot();
       http::Request status;
       status.target = "/~status";
-      (void)network_.Execute(home_.address(), status);
+      (void)network().Execute(home_.address(), status);
       // The introspection endpoints exercise registry snapshotting and
       // both trace rings against the worker threads' hot-path updates.
       http::Request dcws_status;
       dcws_status.target = "/.dcws/status?format=prometheus";
-      (void)network_.Execute(home_.address(), dcws_status);
+      (void)network().Execute(home_.address(), dcws_status);
       http::Request traces;
       traces.target = "/.dcws/traces?format=json";
-      (void)network_.Execute(coop1_.address(), traces);
+      (void)network().Execute(coop1_.address(), traces);
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   });
@@ -340,21 +342,24 @@ TEST_F(ClusterStressTest, MigrationAndRevocationUnderLoadConverge) {
       for (int i = 0; i < kRequestsPerClient; ++i) {
         http::Request request;
         request.target = "/i.gif";
-        auto response = network_.Execute(home_.address(), request);
+        auto response = network().Execute(home_.address(), request);
         if (response.ok() && response->status_code == 301) {
           auto url = http::Url::Parse(std::string(
               response->headers.Get("Location").value_or("")));
           if (url.ok()) {
             http::Request follow;
             follow.target = url->path;
-            (void)network_.Execute({url->host, url->port}, follow);
+            (void)network().Execute({url->host, url->port}, follow);
           }
         }
       }
     });
   }
   for (auto& thread : threads) thread.join();
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Convergence without sleeping: the harness polls until every
+  // placement points at a running member and no pair of servers
+  // considers each other down.
+  ASSERT_TRUE(harness_.WaitSync());
 
   // Every record is either home or at a registered peer, and every
   // migrated record's location resolves in the cluster.

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repeated-run gate for the chaos suite: builds (unless SKIP_BUILD=1)
+# and runs every ctest target labeled `chaos` N times in a row, failing
+# on the first non-green run.  The suite polls convergence predicates
+# instead of sleeping, so repetition — not per-run luck — is what
+# shakes out timing holes; CI runs this under ThreadSanitizer.
+#
+# Usage:
+#   tools/dcws_chaos.sh [build-dir] [runs]
+#
+#   build-dir  cmake build tree (default: build)
+#   runs       consecutive green runs required (default: 20)
+#
+# Environment:
+#   DCWS_CHAOS_ARTIFACTS  directory for per-test status/trace dumps on
+#                         failure (created if missing; the harness
+#                         writes <test>.dump.txt files into it)
+#   SKIP_BUILD=1          assume build-dir is already built
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RUNS="${2:-20}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' does not exist" >&2
+  echo "  cmake -B $BUILD_DIR -S . [-DDCWS_SANITIZE=thread ...]" >&2
+  exit 2
+fi
+
+if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+fi
+
+if [[ -n "${DCWS_CHAOS_ARTIFACTS:-}" ]]; then
+  mkdir -p "$DCWS_CHAOS_ARTIFACTS"
+fi
+
+for ((i = 1; i <= RUNS; i++)); do
+  echo "=== chaos run $i/$RUNS ==="
+  if ! ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure; then
+    echo "chaos suite FAILED on run $i/$RUNS" >&2
+    if [[ -n "${DCWS_CHAOS_ARTIFACTS:-}" ]]; then
+      echo "status/trace dumps in $DCWS_CHAOS_ARTIFACTS:" >&2
+      ls -l "$DCWS_CHAOS_ARTIFACTS" >&2 || true
+    fi
+    exit 1
+  fi
+done
+
+echo "chaos suite: $RUNS/$RUNS consecutive green runs"
