@@ -1,14 +1,23 @@
 // Micro-benchmarks of the DCWS hot paths: LDG tuple retrieval (the
 // paper's "hash table ... necessary for each request"), Algorithm 1
-// selection, the ~migrate naming codec, and the piggyback load-header
-// codec.
+// selection, the ~migrate naming codec, the piggyback load-header
+// codec, whole-request serving through core::Server (cached and
+// regenerating), and the event-journal append.
+//
+// CI runs this binary and diffs the result against the committed
+// results/BENCH_micro_core.json via tools/check_perf.py; ratios are
+// normalized by BM_SpinCalibration so the gate survives machine-speed
+// differences.
 
 #include <benchmark/benchmark.h>
 
+#include "src/core/server.h"
 #include "src/graph/ldg.h"
 #include "src/load/piggyback.h"
 #include "src/migrate/naming.h"
 #include "src/migrate/selection.h"
+#include "src/obs/events.h"
+#include "src/util/clock.h"
 #include "src/workload/site.h"
 
 namespace dcws {
@@ -136,6 +145,118 @@ void BM_PiggybackDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PiggybackDecode);
+
+// ---------------------------------------------------------------------
+// Whole-request serving through core::Server, and the observability
+// appends that ride every decision.
+// ---------------------------------------------------------------------
+
+// Peer transport that never answers: the benched paths are all local.
+struct NullPeers : core::PeerClient {
+  Result<http::Response> Execute(const http::ServerAddress&,
+                                 const http::Request&) override {
+    return Status::Unavailable("bench: no peers");
+  }
+};
+
+core::Server& BenchServer() {
+  static core::Server* server = [] {
+    static WallClock clock;
+    core::ServerParams params;
+    // Keep periodic duties far away from the measured loop; only
+    // HandleRequest runs here.
+    params.stats_interval = Seconds(3600);
+    params.pinger_interval = Seconds(3600);
+    params.validation_interval = Seconds(3600);
+    auto* s = new core::Server(kHome, params, &clock);
+    Rng rng(3);
+    workload::SiteSpec site = workload::BuildLod(rng);
+    Status status = s->LoadSite(site.documents, site.entry_points);
+    (void)status;
+    return s;
+  }();
+  return *server;
+}
+
+// The cached-rewrite hot path: a clean HTML document whose rewritten
+// copy is already cached — one LDG lookup, one store read, headers.
+// This is the serve that dominates steady state; tools/check_perf.py
+// gates CI on its normalized time.
+void BM_ServeCachedDocument(benchmark::State& state) {
+  core::Server& server = BenchServer();
+  NullPeers peers;
+  http::Request request;
+  request.method = "GET";
+  request.target = "/lod/gallery3.html";
+  // Prime the rewrite cache so the loop measures cached serves only.
+  benchmark::DoNotOptimize(server.HandleRequest(request, &peers));
+  for (auto _ : state) {
+    http::Response response = server.HandleRequest(request, &peers);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetLabel("cached rewrite hot path (perf-gated)");
+}
+BENCHMARK(BM_ServeCachedDocument);
+
+// Dirty-document serve: every iteration invalidates the page so the
+// serve pays link rewriting (document engineering) again.
+void BM_RegenerateDirtyServe(benchmark::State& state) {
+  core::Server& server = BenchServer();
+  NullPeers peers;
+  const std::string name = "/lod/gallery3.html";
+  http::Request request;
+  request.method = "GET";
+  request.target = name;
+  for (auto _ : state) {
+    Status dirty = server.ldg().SetDirty(name, true);
+    benchmark::DoNotOptimize(dirty);
+    http::Response response = server.HandleRequest(request, &peers);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetLabel("regeneration (link rewrite) per serve");
+}
+BENCHMARK(BM_RegenerateDirtyServe);
+
+// Event-journal append with a realistic decision payload (GLT rows,
+// detail string): the overhead each audited decision adds.
+void BM_EventJournalEmit(benchmark::State& state) {
+  static WallClock clock;
+  obs::EventJournal journal("bench:8001", &clock, 256);
+  obs::Event proto;
+  proto.type = obs::EventType::kMigrationDecided;
+  proto.doc = "/lod/gallery3.html";
+  proto.peer = "node2:8002";
+  proto.own_load = 120.5;
+  proto.peer_load = 14.25;
+  proto.detail = "own 120.5 cps > 2 x 14.25 cps at node2:8002";
+  for (int i = 0; i < 4; ++i) {
+    proto.glt.push_back(obs::GltRow{"node" + std::to_string(i) + ":8001",
+                                    10.0 * i, Seconds(1)});
+  }
+  for (auto _ : state) {
+    obs::Event event = proto;
+    journal.Emit(std::move(event));
+  }
+  state.SetLabel("decision event with 4 GLT rows");
+}
+BENCHMARK(BM_EventJournalEmit);
+
+// Fixed CPU-bound spin: the machine-speed anchor tools/check_perf.py
+// divides the other timings by, so the regression gate compares
+// dimensionless ratios rather than nanoseconds across machines.
+void BM_SpinCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 4096; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel("machine-speed anchor for tools/check_perf.py");
+}
+BENCHMARK(BM_SpinCalibration);
 
 }  // namespace
 }  // namespace dcws

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 
@@ -21,6 +22,7 @@ constexpr std::string_view kStatusTarget = "/~status";
 constexpr std::string_view kRevokePrefix = "/~revoke/";
 constexpr std::string_view kDcwsStatusTarget = "/.dcws/status";
 constexpr std::string_view kDcwsTracesTarget = "/.dcws/traces";
+constexpr std::string_view kDcwsEventsTarget = "/.dcws/events";
 
 // Value of `key` in a raw query string ("format=json&x=1"), or "".
 std::string QueryParam(std::string_view query, std::string_view key) {
@@ -84,8 +86,16 @@ Server::Server(http::ServerAddress self, ServerParams params,
       rate_window_(params.load_window),
       trace_ids_(obs::SeedFromName(self_.ToString())),
       recent_traces_(static_cast<size_t>(params.trace_ring_capacity)),
-      slow_traces_(static_cast<size_t>(params.trace_ring_capacity)) {
-  glt_.RegisterPeer(self_);
+      slow_traces_(static_cast<size_t>(params.trace_ring_capacity)),
+      journal_(self_.ToString(), clock,
+               static_cast<size_t>(params.event_journal_capacity)) {
+  glt_.RegisterPeer(self_);  // before set_journal: no self PeerUp event
+  glt_.set_journal(&journal_);
+  pinger_.set_journal(&journal_);
+  {
+    MutexLock duty_lock(duty_mutex_);  // satisfies the TSA annotation
+    home_policy_.set_journal(&journal_);
+  }
   InitMetrics();
 }
 
@@ -148,6 +158,33 @@ void Server::InitMetrics() {
                              [this] { return LoadMetric(); });
   registry_.AddCallbackGauge("dcws_load_bps", {},
                              [this] { return BytesMetric(); });
+
+  // Event-journal visibility: ring depth and evictions (overflow must
+  // be observable, never silent) plus one per-type emission count, so
+  // /.dcws/status, Prometheus scrapes and the simulator's merged bench
+  // snapshots all report decision volume.
+  registry_.AddCallbackGauge("dcws_event_journal_depth", {}, [this] {
+    return static_cast<double>(journal_.depth());
+  });
+  registry_.AddCallbackGauge("dcws_event_journal_dropped", {}, [this] {
+    return static_cast<double>(journal_.dropped());
+  });
+  static constexpr obs::EventType kEventTypes[] = {
+      obs::EventType::kMigrationDecided,
+      obs::EventType::kMigrationApplied,
+      obs::EventType::kRecall,
+      obs::EventType::kRevalidation,
+      obs::EventType::kPeerUp,
+      obs::EventType::kPeerDown,
+      obs::EventType::kQueueDrop,
+  };
+  for (obs::EventType type : kEventTypes) {
+    registry_.AddCallbackGauge(
+        "dcws_events", {{"type", std::string(obs::EventTypeName(type))}},
+        [this, type] {
+          return static_cast<double>(journal_.CountFor(type));
+        });
+  }
 }
 
 Status Server::LoadSite(const std::vector<storage::Document>& documents,
@@ -244,7 +281,8 @@ http::Response Server::HandleRequest(const http::Request& request,
   bool is_head = request.method == "HEAD";
   bool admin = target == kPingTarget || target == kStatusTarget ||
                target == kDcwsStatusTarget ||
-               target == kDcwsTracesTarget;
+               target == kDcwsTracesTarget ||
+               target == kDcwsEventsTarget;
 
   http::Response response;
   if (target == kPingTarget) {
@@ -255,6 +293,8 @@ http::Response Server::HandleRequest(const http::Request& request,
     response = HandleDcwsStatus(query);
   } else if (target == kDcwsTracesTarget) {
     response = HandleDcwsTraces(query);
+  } else if (target == kDcwsEventsTarget) {
+    response = HandleDcwsEvents(query);
   } else if (StartsWith(target, kRevokePrefix)) {
     obs::ScopedSpan span(&builder, clock_, "revoke");
     response = HandleRevoke(target);
@@ -318,7 +358,20 @@ http::Response Server::HandleRequest(const http::Request& request,
   return response;
 }
 
-void Server::CountQueueDrop() { ctr_queue_drops_->Increment(); }
+void Server::CountQueueDrop(const http::Request* request) {
+  ctr_queue_drops_->Increment();
+  obs::Event event;
+  event.type = obs::EventType::kQueueDrop;
+  event.detail = "socket queue full (L_sq=" +
+                 std::to_string(params_.socket_queue_length) + ")";
+  if (request != nullptr) {
+    event.doc = request->target;
+    if (auto header = request->headers.Get(http::kHeaderDcwsTrace)) {
+      if (auto parsed = obs::ParseTraceId(*header)) event.trace = *parsed;
+    }
+  }
+  journal_.Emit(std::move(event));
+}
 
 http::Response Server::HandlePing() {
   ctr_internal_requests_->Increment();
@@ -402,6 +455,31 @@ http::Response Server::HandleDcwsTraces(const std::string& query) {
   return http::MakeOkResponse(std::move(out), "text/plain");
 }
 
+http::Response Server::HandleDcwsEvents(const std::string& query) {
+  std::string format = QueryParam(query, "format");
+  uint64_t since = 0;
+  if (std::string s = QueryParam(query, "since"); !s.empty()) {
+    since = std::strtoull(s.c_str(), nullptr, 10);
+  }
+  std::vector<obs::Event> events = journal_.Snapshot(since);
+  if (format == "json") {
+    return http::MakeOkResponse(
+        obs::FormatEventsJson(self_.ToString(), events, journal_.total(),
+                              journal_.depth(), journal_.dropped(),
+                              journal_.capacity()),
+        "application/json");
+  }
+  std::string out = "events for " + self_.ToString() + " (" +
+                    std::to_string(events.size()) + " of " +
+                    std::to_string(journal_.total()) + " emitted, " +
+                    std::to_string(journal_.dropped()) +
+                    " evicted by ring wrap):\n";
+  for (const obs::Event& event : events) {
+    out += obs::FormatEventText(event);
+  }
+  return http::MakeOkResponse(std::move(out), "text/plain");
+}
+
 http::Response Server::HandleRevoke(const std::string& target) {
   ctr_internal_requests_->Increment();
   std::string migrate_target = RevokeToMigrateTarget(target);
@@ -413,6 +491,12 @@ http::Response Server::HandleRevoke(const std::string& target) {
   // bytes stay in the store as a best-effort reserve (§4.5): if the home
   // server later crashes, we can still serve what we have.
   coop_table_.Revoke(migrate_target);
+  obs::Event event;
+  event.type = obs::EventType::kRecall;
+  event.doc = decoded->doc_path;
+  event.peer = decoded->home.ToString();
+  event.detail = "revoke received; control returned to home";
+  journal_.Emit(std::move(event));
   http::Response r;
   r.status_code = 200;
   return r;
@@ -576,15 +660,28 @@ bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
 
   auto response = InternalCall(peers, name.home, std::move(fetch));
   pinger_.RecordProbeResult(name.home, response.ok());
+  // Every fetch outcome lands in the journal: 304 revalidations,
+  // refetches, the FIRST physical arrival (= the migration became
+  // effective here, kMigrationApplied) and failures.
+  obs::Event event;
+  event.doc = name.doc_path;
+  event.peer = name.home.ToString();
+  if (trace != nullptr) event.trace = trace->trace_id;
   if (response.ok() && response->status_code == 304) {
     // Our copy is current: revalidated without retransmission.
     coop_table_.MarkFetched(target, clock_->Now());
     ctr_not_modified_->Increment();
+    event.type = obs::EventType::kRevalidation;
+    event.detail = "revalidated against home via ETag (304)";
+    journal_.Emit(std::move(event));
     return true;
   }
   bool ok = response.ok() && response->status_code == 200;
   if (!ok) {
     coop_table_.MarkFetchFailed(target);
+    event.type = obs::EventType::kRevalidation;
+    event.detail = "fetch from home failed; serving stale if held";
+    journal_.Emit(std::move(event));
     return false;
   }
 
@@ -599,10 +696,19 @@ bool Server::FetchFromHome(PeerClient* peers, const std::string& target,
   uint64_t bytes = doc.size();
   // First physical arrival of this document = an inbound migration;
   // later fetches are validation refreshes.
-  if (!store_.Contains(target)) ctr_migrations_in_->Increment();
+  bool first_arrival = !store_.Contains(target);
+  if (first_arrival) ctr_migrations_in_->Increment();
   store_.Put(std::move(doc));
   coop_table_.MarkFetched(target, clock_->Now());
   ctr_coop_fetches_->Increment();
+  event.type = first_arrival ? obs::EventType::kMigrationApplied
+                             : obs::EventType::kRevalidation;
+  event.detail =
+      (first_arrival
+           ? "document arrived from home (physical migration), "
+           : "refetched from home, ") +
+      std::to_string(bytes) + " bytes";
+  journal_.Emit(std::move(event));
   if (trace != nullptr) {
     trace->coop_fetch = true;
     trace->fetch_bytes += bytes;
@@ -923,6 +1029,17 @@ void Server::RecallDocument(
   home_policy_.RecordRevocation(doc);
   replica_table_.Clear(doc);
   ctr_revocations_->Increment();
+  bool coop_unreachable =
+      std::find(skip_notify.begin(), skip_notify.end(), coop) !=
+      skip_notify.end();
+  obs::Event event;
+  event.type = obs::EventType::kRecall;
+  event.doc = doc;
+  event.peer = coop.ToString();
+  event.detail = coop_unreachable
+                     ? "co-op down or departing; document recalled home"
+                     : "load-shift recall after T_home";
+  journal_.Emit(std::move(event));
   // Tell the (reachable) holders; best effort.
   for (const http::ServerAddress& holder : holders) {
     if (std::find(skip_notify.begin(), skip_notify.end(), holder) !=

@@ -19,6 +19,7 @@
 #include "src/migrate/home_policy.h"
 #include "src/migrate/naming.h"
 #include "src/migrate/replication.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/document_store.h"
@@ -110,7 +111,10 @@ class Server {
   // Called by transports when they shed a connection with 503 BEFORE it
   // reaches HandleRequest (socket queue full), so the registry's
   // request-outcome counters still add up to what clients observed.
-  void CountQueueDrop();
+  // When the transport already parsed the request (inproc, sim), pass
+  // it so the kQueueDrop journal event records the shed target and any
+  // X-DCWS-Trace id; TCP drops happen before parsing and pass nullptr.
+  void CountQueueDrop(const http::Request* request = nullptr);
 
   // ---- periodic duties (statistics + pinger thread) ----
   // Runs any duties that have come due: statistics recalculation and
@@ -151,6 +155,10 @@ class Server {
   // Recent/slow completed request traces (GET /.dcws/traces).
   const obs::TraceRing& recent_traces() const { return recent_traces_; }
   const obs::TraceRing& slow_traces() const { return slow_traces_; }
+  // Structured decision/event journal (GET /.dcws/events); tests and
+  // tools may also Emit through it (it is internally synchronized).
+  obs::EventJournal& journal() { return journal_; }
+  const obs::EventJournal& journal() const { return journal_; }
 
   // Current load metric (CPS over the load window) as the statistics
   // module computes it.
@@ -194,6 +202,7 @@ class Server {
   // because routing happens here, above the transport layer.
   http::Response HandleDcwsStatus(const std::string& query);
   http::Response HandleDcwsTraces(const std::string& query);
+  http::Response HandleDcwsEvents(const std::string& query);
 
   // Regenerates a dirty document in place: rewrites hyperlinks whose
   // targets migrated (or gained replicas) to their current URLs, writes
@@ -299,6 +308,10 @@ class Server {
   obs::TraceIdGenerator trace_ids_;
   obs::TraceRing recent_traces_;
   obs::TraceRing slow_traces_;
+  // Structured event journal (internally synchronized).  The ctor hands
+  // set-once pointers to home_policy_/pinger_/glt_ so policy verdicts
+  // are recorded at the point of decision.
+  obs::EventJournal journal_;
 
   obs::Counter* ctr_client_requests_ = nullptr;
   obs::Counter* ctr_served_local_ = nullptr;

@@ -60,6 +60,10 @@ struct ServerParams {
   MicroTime slow_trace_threshold = 50 * kMicrosPerMilli;
   // Capacity of each trace ring (recent and slow).
   int trace_ring_capacity = 64;
+  // Capacity of the structured event journal (GET /.dcws/events);
+  // overflow evicts oldest and is reported as
+  // dcws_event_journal_dropped, never silent.
+  int event_journal_capacity = 256;
 };
 
 // Prints the Table-1 block in the paper's format (used by bench headers).

@@ -5,15 +5,36 @@
 namespace dcws::load {
 
 void GlobalLoadTable::RegisterPeer(const http::ServerAddress& server) {
-  MutexLock lock(mutex_);
-  removed_.erase(server);  // administered re-join clears the tombstone
-  entries_.try_emplace(server, LoadEntry{server, 0, -1});
+  bool inserted;
+  {
+    MutexLock lock(mutex_);
+    removed_.erase(server);  // administered re-join clears the tombstone
+    inserted =
+        entries_.try_emplace(server, LoadEntry{server, 0, -1}).second;
+  }
+  if (journal_ != nullptr && inserted) {
+    obs::Event event;
+    event.type = obs::EventType::kPeerUp;
+    event.peer = server.ToString();
+    event.detail = "registered in server group";
+    journal_->Emit(std::move(event));
+  }
 }
 
 void GlobalLoadTable::RemovePeer(const http::ServerAddress& server) {
-  MutexLock lock(mutex_);
-  entries_.erase(server);
-  removed_.insert(server);
+  size_t erased;
+  {
+    MutexLock lock(mutex_);
+    erased = entries_.erase(server);
+    removed_.insert(server);
+  }
+  if (journal_ != nullptr && erased > 0) {
+    obs::Event event;
+    event.type = obs::EventType::kPeerDown;
+    event.peer = server.ToString();
+    event.detail = "removed from server group (tombstoned)";
+    journal_->Emit(std::move(event));
+  }
 }
 
 void GlobalLoadTable::Update(const http::ServerAddress& server,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/http/address.h"
+#include "src/obs/events.h"
 #include "src/util/clock.h"
 #include "src/util/mutex.h"
 #include "src/util/result.h"
@@ -67,7 +68,15 @@ class GlobalLoadTable {
   std::vector<http::ServerAddress> StalePeers(MicroTime now,
                                               MicroTime max_age) const;
 
+  // Membership audit: when set, RegisterPeer of a previously-unknown
+  // server emits kPeerUp and RemovePeer of a known server emits
+  // kPeerDown (administered joins/leaves, distinct from the pinger's
+  // liveness verdicts by their detail text).  Set once before
+  // concurrent use; may stay null.
+  void set_journal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
+  obs::EventJournal* journal_ = nullptr;  // set-once, then read-only
   mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, LoadEntry,
                      http::ServerAddressHash>

@@ -20,13 +20,34 @@ std::vector<http::ServerAddress> PingerPolicy::PeersToProbe(
 
 void PingerPolicy::RecordProbeResult(const http::ServerAddress& peer,
                                      bool success) {
-  MutexLock lock(mutex_);
-  if (injected_failures_.contains(peer)) success = false;
-  if (success) {
-    consecutive_failures_.erase(peer);
-  } else {
-    consecutive_failures_[peer] += 1;
+  bool was_down;
+  bool is_down;
+  int failures = 0;
+  {
+    MutexLock lock(mutex_);
+    if (injected_failures_.contains(peer)) success = false;
+    was_down = IsDownLocked(peer);
+    if (success) {
+      consecutive_failures_.erase(peer);
+    } else {
+      failures = consecutive_failures_[peer] += 1;
+    }
+    is_down = IsDownLocked(peer);
   }
+  // Transition edges are detected under the lock, so exactly one of the
+  // concurrently-recording threads emits each verdict; the journal emit
+  // itself happens outside (journal slot mutexes stay leaf-level).
+  if (journal_ == nullptr || is_down == was_down) return;
+  obs::Event event;
+  event.type = is_down ? obs::EventType::kPeerDown
+                       : obs::EventType::kPeerUp;
+  event.peer = peer.ToString();
+  event.detail =
+      is_down ? std::to_string(failures) +
+                    " consecutive probe failures (threshold " +
+                    std::to_string(config_.max_consecutive_failures) + ")"
+              : "probe succeeded; peer back up";
+  journal_->Emit(std::move(event));
 }
 
 bool PingerPolicy::IsDown(const http::ServerAddress& peer) const {

@@ -7,6 +7,7 @@
 
 #include "src/http/address.h"
 #include "src/load/glt.h"
+#include "src/obs/events.h"
 #include "src/util/clock.h"
 #include "src/util/mutex.h"
 
@@ -74,11 +75,18 @@ class PingerPolicy {
 
   const Config& config() const { return config_; }
 
+  // Liveness audit: when set, every down/up TRANSITION (not every
+  // probe) emits a kPeerDown/kPeerUp event with the failure streak that
+  // caused it.  Set once before concurrent use (the owning server wires
+  // it at construction); may stay null.
+  void set_journal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
   bool IsDownLocked(const http::ServerAddress& peer) const
       DCWS_REQUIRES(mutex_);
 
   const Config config_;  // immutable after construction; lock-free reads
+  obs::EventJournal* journal_ = nullptr;  // set-once, then read-only
   mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, int, http::ServerAddressHash>
       consecutive_failures_ DCWS_GUARDED_BY(mutex_);

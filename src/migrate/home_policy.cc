@@ -1,9 +1,20 @@
 #include "src/migrate/home_policy.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 namespace dcws::migrate {
+
+namespace {
+
+std::string LoadToString(double load) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", load);
+  return buf;
+}
+
+}  // namespace
 
 std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
     const std::vector<graph::LocalDocumentGraph::SelectionView>& views,
@@ -44,9 +55,36 @@ std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(
     }
     auto doc = SelectDocumentForMigration(views, config_.selection);
     if (!doc.has_value()) return std::nullopt;
-    return Decision{std::move(*doc), peer.server};
+    Decision decision{std::move(*doc), peer.server};
+    RecordDecision(decision, peers, own_load, peer.load_metric, now);
+    return decision;
   }
   return std::nullopt;
+}
+
+void HomeMigrationPolicy::RecordDecision(
+    const Decision& decision, const std::vector<load::LoadEntry>& peers,
+    double own_load, double peer_load, MicroTime now) {
+  if (journal_ == nullptr) return;
+  obs::Event event;
+  event.type = obs::EventType::kMigrationDecided;
+  event.doc = decision.doc;
+  event.peer = decision.target.ToString();
+  event.own_load = own_load;
+  event.peer_load = peer_load;
+  // The threshold comparison that made this a migration: the paper's
+  // "determination that a migration should occur".
+  event.detail = "own " + LoadToString(own_load) + " cps > " +
+                 LoadToString(config_.imbalance_factor) + " x " +
+                 LoadToString(peer_load) + " cps at " +
+                 decision.target.ToString();
+  event.glt.reserve(peers.size());
+  for (const load::LoadEntry& row : peers) {
+    event.glt.push_back(obs::GltRow{
+        row.server.ToString(), row.load_metric,
+        row.updated_at < 0 ? -1 : now - row.updated_at});
+  }
+  journal_->Emit(std::move(event));
 }
 
 std::optional<HomeMigrationPolicy::Decision> HomeMigrationPolicy::Decide(

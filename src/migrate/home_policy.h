@@ -9,6 +9,7 @@
 #include "src/graph/ldg.h"
 #include "src/load/glt.h"
 #include "src/migrate/selection.h"
+#include "src/obs/events.h"
 #include "src/util/clock.h"
 
 namespace dcws::migrate {
@@ -99,7 +100,20 @@ class HomeMigrationPolicy {
   size_t migrations_started() const { return migrations_started_; }
   size_t revocations() const { return revocations_; }
 
+  // Decision audit: when set, every positive Decide verdict emits a
+  // kMigrationDecided event carrying the GLT snapshot it weighed and
+  // the threshold comparison that justified it.  Set once before use
+  // (the owning server wires it at construction); may stay null (tests
+  // that drive the policy directly).
+  void set_journal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
+  // Emits the kMigrationDecided audit event for a positive verdict.
+  void RecordDecision(const Decision& decision,
+                      const std::vector<load::LoadEntry>& peers,
+                      double own_load, double peer_load, MicroTime now);
+
+  obs::EventJournal* journal_ = nullptr;
   http::ServerAddress self_;
   Config config_;
 

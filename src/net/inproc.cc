@@ -75,9 +75,11 @@ Result<http::Response> InprocServerHost::Call(
     if (queue_.size() >=
         static_cast<size_t>(server_->params().socket_queue_length)) {
       // Socket queue overflow: graceful 503 (§5.2).  The server never
-      // sees the request, so feed its outcome counters directly.
+      // sees the request, so feed its outcome counters and event
+      // journal directly (the request is already parsed here, so the
+      // kQueueDrop event carries the shed target and trace id).
       dropped_ += 1;
-      server_->CountQueueDrop();
+      server_->CountQueueDrop(&request);
       return http::MakeOverloadedResponse();
     }
     auto job = std::make_unique<Job>();

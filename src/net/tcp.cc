@@ -86,9 +86,11 @@ void TcpServerHost::AcceptLoop() {
             PendingConn{std::move(conn), server_->clock()->Now()});
       } else {
         // Socket queue overflow: graceful 503 (§5.2) and close.  The
-        // server never sees the request; feed its outcome counters.
+        // server never sees the request; feed its outcome counters and
+        // event journal (nullptr: the drop happens before the wire
+        // bytes are parsed, so the event has no target or trace id).
         dropped_.fetch_add(1);
-        server_->CountQueueDrop();
+        server_->CountQueueDrop(nullptr);
         (void)WriteAll(conn, http::MakeOverloadedResponse().Serialize());
         continue;
       }

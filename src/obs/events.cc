@@ -1,0 +1,267 @@
+#include "src/obs/events.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace dcws::obs {
+
+namespace {
+
+size_t TypeIndex(EventType type) { return static_cast<size_t>(type); }
+
+// Shortest round-trippable double, matching export.cc's convention.
+std::string NumberToString(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+// Minimal JSON string escaping (same subset export.cc emits).
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kMigrationDecided:
+      return "migration_decided";
+    case EventType::kMigrationApplied:
+      return "migration_applied";
+    case EventType::kRecall:
+      return "recall";
+    case EventType::kRevalidation:
+      return "revalidation";
+    case EventType::kPeerUp:
+      return "peer_up";
+    case EventType::kPeerDown:
+      return "peer_down";
+    case EventType::kQueueDrop:
+      return "queue_drop";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// JSONL sink (DCWS_EVENT_LOG)
+// ---------------------------------------------------------------------
+
+// Appenders are shared per path so every server in one process writes
+// whole lines through one FILE under one mutex (no interleaved torn
+// lines).  Files stay open for the process lifetime — each line is
+// flushed, and the registry keeps the handles reachable.
+struct EventJournal::JsonlSink {
+  Mutex mutex;
+  std::FILE* file = nullptr;  // writes serialized by `mutex` after init
+
+  void Append(const std::string& line) {
+    MutexLock lock(mutex);
+    if (file == nullptr) return;
+    std::fputs(line.c_str(), file);
+    std::fputc('\n', file);
+    std::fflush(file);
+  }
+};
+
+std::shared_ptr<EventJournal::JsonlSink> EventJournal::SinkForPath(
+    const std::string& path) {
+  struct Registry {
+    Mutex mutex;
+    std::map<std::string, std::shared_ptr<JsonlSink>> sinks
+        DCWS_GUARDED_BY(mutex);
+  };
+  static Registry* registry = new Registry();
+  MutexLock lock(registry->mutex);
+  auto it = registry->sinks.find(path);
+  if (it != registry->sinks.end()) return it->second;
+  auto sink = std::make_shared<JsonlSink>();
+  sink->file = std::fopen(path.c_str(), "a");
+  if (sink->file == nullptr) return nullptr;  // unwritable: disable
+  registry->sinks.emplace(path, sink);
+  return sink;
+}
+
+// ---------------------------------------------------------------------
+// EventJournal
+// ---------------------------------------------------------------------
+
+EventJournal::EventJournal(std::string server, const Clock* clock,
+                           size_t capacity, std::string jsonl_path)
+    : server_(std::move(server)),
+      clock_(clock),
+      capacity_(std::max<size_t>(capacity, 1)),
+      slots_(capacity_) {
+  if (jsonl_path.empty()) {
+    if (const char* env = std::getenv("DCWS_EVENT_LOG");
+        env != nullptr && env[0] != '\0') {
+      jsonl_path = env;
+    }
+  }
+  if (!jsonl_path.empty()) sink_ = SinkForPath(jsonl_path);
+}
+
+void EventJournal::Emit(Event event) {
+  event.seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.at = clock_->Now();
+  event.server = server_;
+  type_counts_[TypeIndex(event.type)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (sink_ != nullptr) sink_->Append(FormatEventJson(event));
+  Slot& slot = slots_[(event.seq - 1) % capacity_];
+  MutexLock lock(slot.mutex);
+  slot.seq = event.seq;
+  slot.event = std::move(event);
+}
+
+std::vector<Event> EventJournal::Snapshot(uint64_t since_seq) const {
+  std::vector<Event> out;
+  out.reserve(capacity_);
+  for (const Slot& slot : slots_) {
+    MutexLock lock(slot.mutex);
+    if (slot.seq > since_seq) out.push_back(slot.event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+uint64_t EventJournal::total() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+uint64_t EventJournal::dropped() const {
+  uint64_t total_emitted = total();
+  return total_emitted > capacity_ ? total_emitted - capacity_ : 0;
+}
+
+size_t EventJournal::depth() const {
+  return static_cast<size_t>(
+      std::min<uint64_t>(total(), capacity_));
+}
+
+uint64_t EventJournal::CountFor(EventType type) const {
+  return type_counts_[TypeIndex(type)].load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------
+
+std::string FormatEventText(const Event& event) {
+  std::string out = "#" + std::to_string(event.seq);
+  out += " +" + NumberToString(ToSeconds(event.at)) + "s ";
+  out += EventTypeName(event.type);
+  if (!event.doc.empty()) out += " doc=" + event.doc;
+  if (!event.peer.empty()) out += " peer=" + event.peer;
+  if (event.own_load != 0 || event.peer_load != 0) {
+    out += " load=" + NumberToString(event.own_load) + "/" +
+           NumberToString(event.peer_load);
+  }
+  if (!event.detail.empty()) out += " (" + event.detail + ")";
+  if (event.trace != 0) out += " [trace " + FormatTraceId(event.trace) + "]";
+  if (!event.glt.empty()) {
+    out += " glt={";
+    for (size_t i = 0; i < event.glt.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += event.glt[i].server + "=" +
+             NumberToString(event.glt[i].load);
+    }
+    out += "}";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string FormatEventJson(const Event& event) {
+  std::string out = "{\"seq\":" + std::to_string(event.seq);
+  out += ",\"type\":\"";
+  out += EventTypeName(event.type);
+  out += "\",\"at_us\":" + std::to_string(event.at);
+  out += ",\"server\":";
+  AppendJsonString(out, event.server);
+  if (event.trace != 0) {
+    out += ",\"trace\":";
+    AppendJsonString(out, FormatTraceId(event.trace));
+  }
+  if (!event.doc.empty()) {
+    out += ",\"doc\":";
+    AppendJsonString(out, event.doc);
+  }
+  if (!event.peer.empty()) {
+    out += ",\"peer\":";
+    AppendJsonString(out, event.peer);
+  }
+  if (event.own_load != 0 || event.peer_load != 0) {
+    out += ",\"own_load\":" + NumberToString(event.own_load);
+    out += ",\"peer_load\":" + NumberToString(event.peer_load);
+  }
+  if (!event.detail.empty()) {
+    out += ",\"detail\":";
+    AppendJsonString(out, event.detail);
+  }
+  if (!event.glt.empty()) {
+    out += ",\"glt\":[";
+    for (size_t i = 0; i < event.glt.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"server\":";
+      AppendJsonString(out, event.glt[i].server);
+      out += ",\"load\":" + NumberToString(event.glt[i].load);
+      out += ",\"age_us\":" + std::to_string(event.glt[i].age) + "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatEventsJson(const std::string& server,
+                             const std::vector<Event>& events,
+                             uint64_t last_seq, size_t depth,
+                             uint64_t dropped, size_t capacity) {
+  std::string out = "{\"server\":";
+  AppendJsonString(out, server);
+  out += ",\"last_seq\":" + std::to_string(last_seq);
+  out += ",\"depth\":" + std::to_string(depth);
+  out += ",\"dropped\":" + std::to_string(dropped);
+  out += ",\"capacity\":" + std::to_string(capacity);
+  out += ",\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n" + FormatEventJson(events[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace dcws::obs

@@ -1,0 +1,153 @@
+#ifndef DCWS_OBS_EVENTS_H_
+#define DCWS_OBS_EVENTS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+
+namespace dcws::obs {
+
+// Structured event journal: the *decision audit* companion to the
+// metric registry and the span rings.  Counters say how often the
+// migration machinery fired; spans say how long one request took; the
+// journal says WHY — each migration, recall, revalidation, liveness
+// verdict and queue drop is recorded together with the inputs that
+// produced it (the GLT snapshot and threshold comparison for a
+// migration decision, the failure streak for a peer-down verdict), so a
+// misbehaving chaos run or bench sweep can be replayed decision by
+// decision.  See DESIGN.md "Event journal & decision audit".
+//
+// Events are held in a bounded ring served at GET /.dcws/events
+// (since-sequence cursor for incremental polling, e.g. tools/dcws_top)
+// and optionally mirrored as JSON lines to the file named by the
+// DCWS_EVENT_LOG environment variable.
+
+enum class EventType {
+  // Home server decided to migrate a document (policy verdict, with the
+  // GLT rows and the threshold comparison that justified it).  The
+  // logical location commits immediately after; the PHYSICAL migration
+  // is lazy and shows up as kMigrationApplied on the co-op.
+  kMigrationDecided,
+  // First physical arrival of a migrated document at its co-op server.
+  // A decided-but-never-applied pair in a merged cluster timeline is
+  // the signature of a crash (or zero demand) mid-migration.
+  kMigrationApplied,
+  // Document recalled home (co-op crash, load shift after T_home, or
+  // membership change) — emitted by the home server; the co-op records
+  // the matching revoke it received.
+  kRecall,
+  // Co-op revalidated (or failed to revalidate) a hosted document
+  // against its home server (T_val machinery, conditional or full).
+  kRevalidation,
+  // Pinger verdict transitions and administered membership joins.
+  kPeerUp,
+  // Pinger down verdicts and administered membership removals.
+  kPeerDown,
+  // Transport shed a connection with 503 before it reached a worker.
+  kQueueDrop,
+};
+inline constexpr size_t kEventTypeCount = 7;
+
+// Stable wire name ("migration_decided", ...), used by every format.
+std::string_view EventTypeName(EventType type);
+
+// One GLT row frozen into a decision event: the decision *inputs*.
+struct GltRow {
+  std::string server;
+  double load = 0;
+  MicroTime age = -1;  // staleness at decision time; -1 = never heard
+};
+
+struct Event {
+  // Stamped by EventJournal::Emit; leave defaulted when emitting.
+  uint64_t seq = 0;        // 1-based, monotonic per journal
+  MicroTime at = 0;        // journal clock reading at emission
+  std::string server;      // emitting server's printable address
+
+  EventType type = EventType::kQueueDrop;
+  TraceId trace = 0;       // active X-DCWS-Trace id, 0 off-request
+  std::string doc;         // subject document (site path), if any
+  std::string peer;        // other party (target co-op, home, probed peer)
+  std::string detail;      // human-readable cause / threshold comparison
+  double own_load = 0;     // emitter's load metric, when relevant
+  double peer_load = 0;    // chosen peer's load metric, when relevant
+  std::vector<GltRow> glt;  // decision inputs (kMigrationDecided)
+};
+
+// Bounded ring journal with contention-free appends.  A writer claims a
+// sequence number with one atomic fetch-add and publishes into its ring
+// slot under that slot's own mutex — appends never take a journal-wide
+// lock, so Emit from N worker threads scales like the metric registry
+// rather than like a logging mutex.  Overflow evicts the oldest entry
+// and is observable (dropped()), never silent.
+//
+// Thread-safe: Emit from any thread, Snapshot/counters from any thread.
+class EventJournal {
+ public:
+  // `server` stamps every event; `jsonl_path` overrides the
+  // DCWS_EVENT_LOG environment variable (tests), "" = use the env var.
+  EventJournal(std::string server, const Clock* clock, size_t capacity,
+               std::string jsonl_path = "");
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Stamps seq / at / server and publishes the event.
+  void Emit(Event event);
+
+  // Events with seq > since_seq, oldest first.  A poller passes the
+  // last seq it has seen to read incrementally (GET /.dcws/events
+  // ?since=N); gaps in the returned seqs mean the ring wrapped.
+  std::vector<Event> Snapshot(uint64_t since_seq = 0) const;
+
+  uint64_t total() const;    // events ever emitted (== last seq)
+  uint64_t dropped() const;  // events evicted by ring wrap
+  size_t depth() const;      // events currently held
+  size_t capacity() const { return capacity_; }
+  uint64_t CountFor(EventType type) const;
+  const std::string& server() const { return server_; }
+
+ private:
+  struct Slot {
+    mutable Mutex mutex;
+    uint64_t seq DCWS_GUARDED_BY(mutex) = 0;  // 0 = never written
+    Event event DCWS_GUARDED_BY(mutex);
+  };
+  struct JsonlSink;  // shared per-path appender (events.cc)
+  static std::shared_ptr<JsonlSink> SinkForPath(const std::string& path);
+
+  const std::string server_;
+  const Clock* clock_;
+  const size_t capacity_;
+  std::vector<Slot> slots_;
+  std::shared_ptr<JsonlSink> sink_;  // null when no JSONL mirroring
+  std::atomic<uint64_t> next_{0};
+  std::array<std::atomic<uint64_t>, kEventTypeCount> type_counts_{};
+};
+
+// One line: "#seq +12.345s type doc=... peer=... (detail) [trace ...]".
+std::string FormatEventText(const Event& event);
+// One JSON object (also the DCWS_EVENT_LOG line format).  Empty
+// doc/peer/detail/glt and zero trace/loads are omitted; a
+// kMigrationDecided event always carries doc, peer, own_load,
+// peer_load, detail and glt.
+std::string FormatEventJson(const Event& event);
+// Full GET /.dcws/events?format=json body:
+// {"server":...,"last_seq":N,"depth":N,"dropped":N,"capacity":N,
+//  "events":[...]}.  Pass last_seq back as ?since= to poll.
+std::string FormatEventsJson(const std::string& server,
+                             const std::vector<Event>& events,
+                             uint64_t last_seq, size_t depth,
+                             uint64_t dropped, size_t capacity);
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_EVENTS_H_

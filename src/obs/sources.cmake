@@ -2,4 +2,5 @@ dcws_module(obs
   metrics.cc
   trace.cc
   export.cc
+  events.cc
 )

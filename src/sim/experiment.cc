@@ -123,6 +123,7 @@ ExperimentResult RunExperiment(const workload::SiteSpec& site,
   result.client_totals = world.totals();
   result.server_counters = world.AggregateServerCounters();
   result.metrics = world.AggregateMetrics();
+  result.host_events = world.CollectEventStreams();
   result.latency_ms = metrics::Summarize(world.TakeLatencySamplesMs());
   return result;
 }

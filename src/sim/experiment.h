@@ -41,6 +41,10 @@ struct ExperimentResult {
   // Cluster-wide merged metric registry (lifetime), the same schema a
   // live server serves at /.dcws/status; bench --metrics-json dumps it.
   std::vector<obs::MetricSnapshot> metrics;
+  // Per-host structured event streams (lifetime): every host's
+  // migration/recall/liveness decision audit, schema-identical to a
+  // live server's GET /.dcws/events.
+  std::vector<SimWorld::HostEvents> host_events;
   // Client-perceived response-time distribution over the measured
   // window (ms) — the "RTT" metric the paper could not measure (§5.3).
   metrics::Summary latency_ms;

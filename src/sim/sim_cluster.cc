@@ -43,10 +43,11 @@ void SimHost::Submit(http::Request request, ResponseCallback done) {
   if (queue_.size() >=
       static_cast<size_t>(params.socket_queue_length)) {
     // Socket queue overflow: graceful 503 (§5.2 request drop behaviour).
-    // The server never sees the request; feed its outcome counters so
-    // the registry adds up to what clients observed.
+    // The server never sees the request; feed its outcome counters and
+    // event journal so the registry adds up to what clients observed
+    // (mirrors the real transports' kQueueDrop emission).
     drops_ += 1;
-    server_->CountQueueDrop();
+    server_->CountQueueDrop(&request);
     ChargeBackground(world_->calib().redirect_cpu);
     world_->queue().ScheduleAfter(
         world_->calib().redirect_cpu,
@@ -265,6 +266,17 @@ core::Server::Counters SimWorld::AggregateServerCounters() const {
     sum.not_modified += c.not_modified;
   }
   return sum;
+}
+
+std::vector<SimWorld::HostEvents> SimWorld::CollectEventStreams() const {
+  std::vector<HostEvents> streams;
+  streams.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    const obs::EventJournal& journal = host->server_->journal();
+    streams.push_back(HostEvents{journal.server(), journal.Snapshot(),
+                                 journal.total(), journal.dropped()});
+  }
+  return streams;
 }
 
 std::vector<obs::MetricSnapshot> SimWorld::AggregateMetrics() const {

@@ -167,6 +167,17 @@ class SimWorld : public core::PeerClient {
   // dumps compare directly against real scrapes.
   std::vector<obs::MetricSnapshot> AggregateMetrics() const;
 
+  // Per-host structured event journals (schema-identical to a live
+  // server's GET /.dcws/events), so simulated experiments keep the
+  // same decision audit as the real transports.
+  struct HostEvents {
+    std::string server;
+    std::vector<obs::Event> events;
+    uint64_t total = 0;    // events ever emitted by this host
+    uint64_t dropped = 0;  // evicted by ring wrap (total > capacity)
+  };
+  std::vector<HostEvents> CollectEventStreams() const;
+
  private:
   void ScheduleTicks();
 

@@ -90,11 +90,15 @@ class ChaosTest : public ::testing::Test {
     }
   }
 
+ public:
+  // Public so scenario helpers shared between TEST_Fs can build the
+  // harness through the fixture (artifact dumping on failure included).
   ClusterHarness& Make(ClusterHarness::Options options = {}) {
     harness_ = std::make_unique<ClusterHarness>(std::move(options));
     return *harness_;
   }
 
+ protected:
   static ClusterHarness::Options TwoNodes() {
     ClusterHarness::Options options;
     options.servers = 2;
@@ -436,6 +440,124 @@ TEST_F(ChaosTest, TcpTransportCrashRecall) {
     return ping.ok() && ping->status_code == 200;
   }));
   EXPECT_TRUE(h.WaitSync());
+}
+
+// ---------------------------------------------------------------------
+// Event-journal audit: crash-mid-migration must leave the exact
+// decision trail MigrationDecided (home, with the GLT snapshot that
+// justified it) -> MigrationApplied (co-op, physical arrival) ->
+// Recall (home, peer-down cause), causally ordered by the shared
+// wall-clock timestamps.  Run on both transports — the journal is
+// transport-agnostic core state.
+// ---------------------------------------------------------------------
+void RunEventSequenceCrashMidMigration(
+    ChaosTest* fixture, ClusterHarness::Transport transport) {
+  ClusterHarness::Options options;
+  options.servers = 2;
+  options.transport = transport;
+  ClusterHarness& h = fixture->Make(options);
+  LoadSite(h);
+  const std::string home = h.address(0).ToString();
+  const std::string coop = h.address(1).ToString();
+
+  std::atomic<bool> stop{false};
+  std::thread client = StartClientLoad(h, &stop, "/i.gif");
+
+  // 1. The home decides to migrate /i.gif, and the decision event
+  //    carries its inputs: the full GLT snapshot and the threshold
+  //    comparison.
+  auto decided = h.WaitEvent(
+      0, obs::EventType::kMigrationDecided,
+      [](const obs::Event& e) { return e.doc == "/i.gif"; });
+  ASSERT_TRUE(decided.has_value()) << h.DumpStatus();
+  EXPECT_EQ(decided->server, home);
+  EXPECT_EQ(decided->peer, coop);
+  EXPECT_GT(decided->own_load, 0);
+  EXPECT_NE(decided->detail.find(" cps > "), std::string::npos)
+      << "decision must record the threshold comparison: "
+      << decided->detail;
+  ASSERT_FALSE(decided->glt.empty())
+      << "decision must carry its GLT snapshot";
+  bool glt_names_coop = false;
+  for (const obs::GltRow& row : decided->glt) {
+    if (row.server == coop) glt_names_coop = true;
+  }
+  EXPECT_TRUE(glt_names_coop)
+      << "GLT snapshot must include the chosen co-op";
+
+  // 2. The client load chases the redirect into the co-op, whose first
+  //    fetch physically applies the migration.
+  auto applied = h.WaitEvent(
+      1, obs::EventType::kMigrationApplied,
+      [](const obs::Event& e) { return e.doc == "/i.gif"; });
+  ASSERT_TRUE(applied.has_value()) << h.DumpStatus();
+  EXPECT_EQ(applied->server, coop);
+  EXPECT_EQ(applied->peer, home);
+
+  // 3. Crash the co-op; the home declares it down and recalls, and the
+  //    recall event names the crashed peer and the peer-down cause.
+  stop.store(true);
+  client.join();
+  h.StopServer(1, ClusterHarness::StopMode::kAbrupt);
+  ASSERT_TRUE(h.WaitPeerDown(0, 1));
+  auto recall = h.WaitEvent(
+      0, obs::EventType::kRecall,
+      [](const obs::Event& e) { return e.doc == "/i.gif"; });
+  ASSERT_TRUE(recall.has_value()) << h.DumpStatus();
+  EXPECT_EQ(recall->peer, coop);
+  EXPECT_NE(recall->detail.find("down"), std::string::npos)
+      << recall->detail;
+
+  // 4. Causal order across the two journals (shared wall clock).
+  EXPECT_LE(decided->at, applied->at);
+  EXPECT_LE(applied->at, recall->at);
+
+  // The crashed co-op's own journal still answers post-mortem: it holds
+  // the applied event and the corresponding peer-up lifecycle entries.
+  EXPECT_TRUE(h.FindEvent(1, obs::EventType::kMigrationApplied)
+                  .has_value());
+}
+
+TEST_F(ChaosTest, EventSequenceCrashMidMigrationInproc) {
+  RunEventSequenceCrashMidMigration(
+      this, ClusterHarness::Transport::kInproc);
+}
+
+TEST_F(ChaosTest, EventSequenceCrashMidMigrationTcp) {
+  RunEventSequenceCrashMidMigration(this,
+                                    ClusterHarness::Transport::kTcp);
+}
+
+// ---------------------------------------------------------------------
+// The decided-but-never-applied signature: when the co-op crashes (or
+// never sees demand) before its first fetch, the merged timeline shows
+// a MigrationDecided with no matching MigrationApplied anywhere — the
+// journal's way of spelling "crash mid-migration".  DriveUntil's plain
+// GETs never follow the redirect, so no request ever reaches the
+// co-op and the physical migration never happens.
+// ---------------------------------------------------------------------
+TEST_F(ChaosTest, DecidedWithoutAppliedMarksCrashMidMigration) {
+  ClusterHarness& h = Make(TwoNodes());
+  LoadSite(h);
+
+  ASSERT_TRUE(h.DriveUntil(0, {"/i.gif"}, [&]() {
+    return h.FindEvent(0, obs::EventType::kMigrationDecided)
+        .has_value();
+  }));
+  h.StopServer(1, ClusterHarness::StopMode::kAbrupt);
+  ASSERT_TRUE(h.WaitPeerDown(0, 1));
+  auto recall = h.WaitEvent(0, obs::EventType::kRecall);
+  ASSERT_TRUE(recall.has_value()) << h.DumpStatus();
+
+  // Decided and recalled — but applied nowhere: the audit trail shows
+  // the migration never became physical.
+  EXPECT_TRUE(
+      h.FindEvent(0, obs::EventType::kMigrationDecided).has_value());
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_FALSE(h.FindEvent(i, obs::EventType::kMigrationApplied)
+                     .has_value())
+        << "member " << i << " must not record a physical migration";
+  }
 }
 
 }  // namespace

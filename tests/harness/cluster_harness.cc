@@ -371,6 +371,35 @@ bool ClusterHarness::WaitTraceSeen(size_t i, obs::TraceId id) {
   return WaitFor([this, i, id]() { return TraceSeen(i, id); });
 }
 
+std::vector<obs::Event> ClusterHarness::Events(size_t i,
+                                               uint64_t since) const {
+  return members_[i].server->journal().Snapshot(since);
+}
+
+std::optional<obs::Event> ClusterHarness::FindEvent(
+    size_t i, obs::EventType type, const EventMatch& match) const {
+  for (obs::Event& event : Events(i)) {
+    if (event.type != type) continue;
+    if (match != nullptr && !match(event)) continue;
+    return std::move(event);
+  }
+  return std::nullopt;
+}
+
+std::optional<obs::Event> ClusterHarness::WaitEvent(size_t i,
+                                                    obs::EventType type,
+                                                    EventMatch match,
+                                                    MicroTime timeout) {
+  std::optional<obs::Event> found;
+  WaitFor(
+      [&]() {
+        found = FindEvent(i, type, match);
+        return found.has_value();
+      },
+      timeout);
+  return found;
+}
+
 bool ClusterHarness::DriveUntil(
     size_t i, const std::vector<std::string>& targets,
     const std::function<bool()>& predicate) {
@@ -396,6 +425,12 @@ std::string ClusterHarness::DumpStatus() {
     out += "---- traces ----\n";
     out += obs::FormatTracesJson(server.recent_traces().Snapshot(),
                                  server.slow_traces().Snapshot());
+    out += "\n---- events (" + std::to_string(server.journal().total()) +
+           " total, " + std::to_string(server.journal().dropped()) +
+           " evicted) ----\n";
+    for (const obs::Event& event : server.journal().Snapshot()) {
+      out += obs::FormatEventText(event);
+    }
     out += "\n";
   }
   return out;

@@ -12,6 +12,7 @@
 #include "src/core/server.h"
 #include "src/net/inproc.h"
 #include "src/net/tcp.h"
+#include "src/obs/events.h"
 #include "src/obs/trace.h"
 #include "src/util/clock.h"
 
@@ -149,6 +150,24 @@ class ClusterHarness {
   bool WaitPeerDown(size_t observer, size_t peer);
   bool WaitPeerUp(size_t observer, size_t peer);
   bool WaitTraceSeen(size_t i, obs::TraceId id);
+
+  // ---- event-journal predicates ----
+  // Member i's event journal (events with seq > since, oldest first),
+  // read directly.  Works on stopped members too: the journal lives in
+  // the Server, which survives a transport crash — that is exactly the
+  // state a post-mortem assertion needs.
+  std::vector<obs::Event> Events(size_t i, uint64_t since = 0) const;
+  // Oldest event of `type` in member i's journal that satisfies `match`
+  // (no match function = any event of that type).
+  using EventMatch = std::function<bool(const obs::Event&)>;
+  std::optional<obs::Event> FindEvent(
+      size_t i, obs::EventType type,
+      const EventMatch& match = nullptr) const;
+  // Polls member i's journal until such an event appears; returns it,
+  // or nullopt on deadline.
+  std::optional<obs::Event> WaitEvent(size_t i, obs::EventType type,
+                                      EventMatch match = nullptr,
+                                      MicroTime timeout = 0);
 
   // Sends GETs for `targets` round-robin at member i until `predicate`
   // holds — the stimulus loop for traffic-driven transitions (piggyback

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/obs/events.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -425,6 +428,205 @@ TEST(ExportTest, FindMetricIsLabelOrderInsensitive) {
   EXPECT_EQ(found->value, 9.0);
   EXPECT_EQ(FindMetric(snaps, "dcws_missing"), nullptr);
   EXPECT_EQ(FindMetric(snaps, "dcws_x_total", {{"a", "1"}}), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Event journal.
+
+TEST(EventJournalTest, StampsSequenceClockAndServer) {
+  ManualClock clock;
+  clock.Set(1'000'000);
+  EventJournal journal("alpha:8001", &clock, 16);
+
+  Event e;
+  e.type = EventType::kMigrationDecided;
+  e.doc = "/i.gif";
+  e.peer = "beta:8002";
+  e.trace = 0xabcdef;
+  e.own_load = 12.5;
+  e.peer_load = 3.0;
+  e.detail = "own 12.5 cps > 2 x 3 cps at beta:8002";
+  e.glt.push_back(GltRow{"beta:8002", 3.0, 50'000});
+  journal.Emit(e);
+  clock.Advance(500);
+  e.type = EventType::kRecall;
+  e.glt.clear();
+  journal.Emit(e);
+
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].at, 1'000'000);
+  EXPECT_EQ(events[0].server, "alpha:8001");
+  EXPECT_EQ(events[0].type, EventType::kMigrationDecided);
+  EXPECT_EQ(events[0].doc, "/i.gif");
+  EXPECT_EQ(events[0].peer, "beta:8002");
+  EXPECT_EQ(events[0].trace, 0xabcdefu);
+  EXPECT_EQ(events[0].own_load, 12.5);
+  ASSERT_EQ(events[0].glt.size(), 1u);
+  EXPECT_EQ(events[0].glt[0].server, "beta:8002");
+  EXPECT_EQ(events[0].glt[0].age, 50'000);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].at, 1'000'500);
+
+  EXPECT_EQ(journal.total(), 2u);
+  EXPECT_EQ(journal.depth(), 2u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_EQ(journal.CountFor(EventType::kMigrationDecided), 1u);
+  EXPECT_EQ(journal.CountFor(EventType::kRecall), 1u);
+  EXPECT_EQ(journal.CountFor(EventType::kQueueDrop), 0u);
+}
+
+TEST(EventJournalTest, SinceCursorReadsIncrementally) {
+  ManualClock clock;
+  EventJournal journal("alpha:8001", &clock, 16);
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.type = EventType::kQueueDrop;
+    journal.Emit(e);
+  }
+  EXPECT_EQ(journal.Snapshot(0).size(), 5u);
+  std::vector<Event> tail = journal.Snapshot(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);
+  EXPECT_EQ(tail[1].seq, 5u);
+  EXPECT_TRUE(journal.Snapshot(5).empty());
+  EXPECT_TRUE(journal.Snapshot(99).empty());
+}
+
+TEST(EventJournalTest, RingOverflowEvictsOldestAndCountsDropped) {
+  ManualClock clock;
+  EventJournal journal("alpha:8001", &clock, 4);
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.type = EventType::kRevalidation;
+    e.doc = "/d" + std::to_string(i);
+    journal.Emit(e);
+  }
+  EXPECT_EQ(journal.total(), 10u);
+  EXPECT_EQ(journal.depth(), 4u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 7 + i);
+    EXPECT_EQ(events[i].doc, "/d" + std::to_string(6 + i));
+  }
+}
+
+TEST(EventJournalTest, ConcurrentEmitsAreLosslessAndUniquelySequenced) {
+  WallClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  EventJournal journal("alpha:8001", &clock,
+                       kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        Event e;
+        e.type = static_cast<EventType>(i % kEventTypeCount);
+        e.doc = "/t" + std::to_string(t) + "/" + std::to_string(i);
+        journal.Emit(e);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(journal.total(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(journal.dropped(), 0u);
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::set<uint64_t> seqs;
+  for (const Event& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size()) << "sequence numbers collide";
+  EXPECT_EQ(*seqs.begin(), 1u);
+  EXPECT_EQ(*seqs.rbegin(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t counted = 0;
+  for (size_t i = 0; i < kEventTypeCount; ++i) {
+    counted += journal.CountFor(static_cast<EventType>(i));
+  }
+  EXPECT_EQ(counted, journal.total());
+}
+
+TEST(EventJournalTest, JsonFormatsCarryTypedFields) {
+  ManualClock clock;
+  clock.Set(2'000'000);
+  EventJournal journal("alpha:8001", &clock, 8);
+  Event e;
+  e.type = EventType::kMigrationDecided;
+  e.doc = "/i.gif";
+  e.peer = "beta:8002";
+  e.own_load = 10;
+  e.peer_load = 2;
+  e.detail = "own 10 cps > 2 x 2 cps at beta:8002";
+  e.glt.push_back(GltRow{"beta:8002", 2, 75'000});
+  journal.Emit(e);
+
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  std::string json = FormatEventJson(events[0]);
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"type\":\"migration_decided\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"at_us\":2000000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"server\":\"alpha:8001\""), std::string::npos);
+  EXPECT_NE(json.find("\"doc\":\"/i.gif\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer\":\"beta:8002\""), std::string::npos);
+  EXPECT_NE(json.find("\"own_load\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"glt\":[{\"server\":\"beta:8002\",\"load\":2,"
+                      "\"age_us\":75000}]"),
+            std::string::npos)
+      << json;
+
+  std::string body = FormatEventsJson("alpha:8001", events,
+                                      journal.total(), journal.depth(),
+                                      journal.dropped(),
+                                      journal.capacity());
+  EXPECT_NE(body.find("\"server\":\"alpha:8001\""), std::string::npos);
+  EXPECT_NE(body.find("\"last_seq\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"depth\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"capacity\":8"), std::string::npos);
+  EXPECT_NE(body.find("\"events\":["), std::string::npos);
+
+  std::string text = FormatEventText(events[0]);
+  EXPECT_NE(text.find("migration_decided"), std::string::npos) << text;
+  EXPECT_NE(text.find("doc=/i.gif"), std::string::npos) << text;
+  EXPECT_NE(text.find("glt={beta:8002=2}"), std::string::npos) << text;
+}
+
+TEST(EventJournalTest, JsonlSinkMirrorsEveryEmit) {
+  std::string path = ::testing::TempDir() + "/dcws_event_log_test.jsonl";
+  std::remove(path.c_str());
+  ManualClock clock;
+  {
+    EventJournal journal("alpha:8001", &clock, 4, path);
+    for (int i = 0; i < 6; ++i) {
+      Event e;
+      e.type = EventType::kQueueDrop;
+      e.detail = "line " + std::to_string(i);
+      journal.Emit(e);
+    }
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"type\":\"queue_drop\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(lines + 1)),
+              std::string::npos)
+        << line;
+    ++lines;
+  }
+  // The sink mirrors every emit, including the ones the ring evicted.
+  EXPECT_EQ(lines, 6);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 
 #include "src/load/pinger.h"
 #include "src/migrate/naming.h"
+#include "src/obs/events.h"
 #include "src/net/inproc.h"
 #include "src/util/rng.h"
 #include "tests/harness/cluster_harness.h"
@@ -101,6 +102,63 @@ TEST(RaceStressTest, PingerPolicySurvivesConcurrentProbeResults) {
     EXPECT_FALSE(pinger.IsDown(peer));
   }
   EXPECT_TRUE(pinger.DownPeers().empty());
+}
+
+TEST(RaceStressTest, EventJournalEmitHammering) {
+  // Writers hammer Emit (atomic seq claim + slot publish) while readers
+  // run Snapshot / CountFor / depth concurrently; a small ring forces
+  // constant slot reuse so TSan sees writer-vs-reader and
+  // writer-vs-writer interleavings on the same slots.
+  WallClock clock;
+  obs::EventJournal journal("stress:1", &clock, 64);
+  constexpr int kWriters = 4;
+  constexpr int kEmitsPerWriter = 5000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&journal, t]() {
+      for (int i = 0; i < kEmitsPerWriter; ++i) {
+        obs::Event event;
+        event.type =
+            static_cast<obs::EventType>(i % obs::kEventTypeCount);
+        event.doc = "/w" + std::to_string(t);
+        event.detail = "emit " + std::to_string(i);
+        if (i % 3 == 0) {
+          event.glt.push_back(obs::GltRow{"peer:1", double(i), 10});
+        }
+        journal.Emit(std::move(event));
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    uint64_t since = 0;
+    while (!stop.load()) {
+      std::vector<obs::Event> events = journal.Snapshot(since);
+      for (const obs::Event& event : events) {
+        ASSERT_GT(event.seq, since);
+        since = std::max(since, event.seq);
+      }
+      for (size_t i = 0; i < obs::kEventTypeCount; ++i) {
+        (void)journal.CountFor(static_cast<obs::EventType>(i));
+      }
+      (void)journal.depth();
+      (void)journal.dropped();
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  const uint64_t expected = uint64_t{kWriters} * kEmitsPerWriter;
+  EXPECT_EQ(journal.total(), expected);
+  EXPECT_EQ(journal.dropped(), expected - 64);
+  EXPECT_EQ(journal.depth(), 64u);
+  uint64_t counted = 0;
+  for (size_t i = 0; i < obs::kEventTypeCount; ++i) {
+    counted += journal.CountFor(static_cast<obs::EventType>(i));
+  }
+  EXPECT_EQ(counted, expected);
 }
 
 TEST(RaceStressTest, GltConcurrentUpdatesKeepFreshestObservation) {

@@ -635,6 +635,67 @@ TEST_F(ServerTest, DcwsTracesRecordsClientRequests) {
   EXPECT_NE(json.body.find("\"recent\""), std::string::npos);
 }
 
+TEST_F(ServerTest, DcwsEventsSpeaksTextAndJsonWithSinceCursor) {
+  std::string moved = ForceOneMigration();
+
+  http::Response text =
+      home().HandleRequest(Get("/.dcws/events"), &net());
+  ASSERT_EQ(text.status_code, 200);
+  EXPECT_EQ(text.headers.Get("Content-Type").value(), "text/plain");
+  EXPECT_NE(text.body.find("migration_decided"), std::string::npos)
+      << text.body;
+  EXPECT_NE(text.body.find("doc=" + moved), std::string::npos)
+      << text.body;
+
+  http::Response json =
+      home().HandleRequest(Get("/.dcws/events?format=json"), &net());
+  ASSERT_EQ(json.status_code, 200);
+  EXPECT_EQ(json.headers.Get("Content-Type").value(),
+            "application/json");
+  EXPECT_NE(json.body.find("\"server\":\"" +
+                           home().address().ToString() + "\""),
+            std::string::npos)
+      << json.body;
+  EXPECT_NE(json.body.find("\"type\":\"migration_decided\""),
+            std::string::npos);
+  // The decision event carries its GLT-snapshot payload.
+  EXPECT_NE(json.body.find("\"glt\":["), std::string::npos) << json.body;
+  EXPECT_NE(json.body.find("\"last_seq\":"), std::string::npos);
+
+  // Incremental polling: a since= cursor at the current tail returns
+  // no events (until something new happens).
+  http::Response tail = home().HandleRequest(
+      Get("/.dcws/events?format=json&since=" +
+          std::to_string(home().journal().total())),
+      &net());
+  ASSERT_EQ(tail.status_code, 200);
+  EXPECT_NE(tail.body.find("\"events\":[\n]"), std::string::npos)
+      << tail.body;
+}
+
+TEST_F(ServerTest, StatusReportsEventJournalDepthAndDropped) {
+  ForceOneMigration();
+  auto snapshot = home().metrics().Snapshot();
+  const obs::MetricSnapshot* depth =
+      obs::FindMetric(snapshot, "dcws_event_journal_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GE(depth->value, 1.0);
+  const obs::MetricSnapshot* dropped =
+      obs::FindMetric(snapshot, "dcws_event_journal_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value, 0.0);
+  const obs::MetricSnapshot* decided = obs::FindMetric(
+      snapshot, "dcws_events", {{"type", "migration_decided"}});
+  ASSERT_NE(decided, nullptr);
+  EXPECT_GE(decided->value, 1.0);
+  // And the same numbers ride the status JSON a poller scrapes.
+  http::Response json =
+      home().HandleRequest(Get("/.dcws/status?format=json"), &net());
+  EXPECT_NE(json.body.find("\"dcws_event_journal_depth\""),
+            std::string::npos)
+      << json.body;
+}
+
 TEST_F(ServerTest, TraceAdoptsPropagatedId) {
   obs::TraceId id = 0x00ddcc0ffee12345ULL;
   http::Request req = Get("/a.html");
@@ -651,6 +712,7 @@ TEST_F(ServerTest, TraceAdoptsPropagatedId) {
 TEST_F(ServerTest, AdminTargetsStayOutOfTrafficMetrics) {
   home().HandleRequest(Get("/.dcws/status"), &net());
   home().HandleRequest(Get("/.dcws/traces"), &net());
+  home().HandleRequest(Get("/.dcws/events"), &net());
   home().HandleRequest(Get("/~status"), &net());
 
   // Introspection polling must not pollute site-traffic series.

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench/micro_core results.
+
+Compares a fresh google-benchmark JSON dump against the committed
+baseline (results/BENCH_micro_core.json) and fails CI when the
+cached-rewrite hot path (BM_ServeCachedDocument) regresses by more than
+the threshold.  All other benchmarks are reported informationally.
+
+Raw nanoseconds are not comparable across machines, so every benchmark
+is first normalized by BM_SpinCalibration from the SAME file — a fixed
+CPU-bound spin that anchors machine speed.  The gate then compares the
+dimensionless ratios:
+
+    regression = (current_ns / current_spin_ns)
+               / (baseline_ns / baseline_spin_ns) - 1
+
+Usage:
+    tools/check_perf.py --baseline results/BENCH_micro_core.json \
+                        --current /tmp/micro_core.json \
+                        [--threshold 0.25]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+ANCHOR = "BM_SpinCalibration"
+GATED = ["BM_ServeCachedDocument"]
+
+
+def load_times(path):
+    """Benchmark name -> representative cpu_time in ns.
+
+    Aggregate entries (mean/median/stddev from --benchmark_repetitions)
+    are skipped in favour of the median of the plain iteration runs;
+    files without run_type still work.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("run_name", bench["name"])
+        # Strip repetition suffixes like "/repeats:3" from the key.
+        name = name.split("/repeats:")[0]
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        samples.setdefault(name, []).append(bench["cpu_time"] * scale)
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed normalized regression on gated "
+        "benchmarks (0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    for name, times in (("baseline", baseline), ("current", current)):
+        if ANCHOR not in times:
+            print(f"error: {name} file has no {ANCHOR} run", file=sys.stderr)
+            return 2
+
+    base_spin = baseline[ANCHOR]
+    cur_spin = current[ANCHOR]
+    print(f"spin anchor: baseline {base_spin:.0f} ns, current {cur_spin:.0f} ns "
+          f"(machine speed ratio {cur_spin / base_spin:.3f}x)")
+    print(f"{'benchmark':<28} {'base_ratio':>12} {'cur_ratio':>12} "
+          f"{'delta':>8}  gate")
+
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name == ANCHOR:
+            continue
+        gated = name in GATED
+        if name not in baseline or name not in current:
+            only = "baseline" if name in baseline else "current"
+            print(f"{name:<28} {'—':>12} {'—':>12} {'—':>8}  "
+                  f"(only in {only})")
+            if gated and name not in current:
+                failures.append(f"{name}: gated benchmark missing from "
+                                "current run")
+            continue
+        base_ratio = baseline[name] / base_spin
+        cur_ratio = current[name] / cur_spin
+        delta = cur_ratio / base_ratio - 1
+        marker = "GATED" if gated else ""
+        print(f"{name:<28} {base_ratio:>12.4f} {cur_ratio:>12.4f} "
+              f"{delta:>+7.1%}  {marker}")
+        if gated and delta > args.threshold:
+            failures.append(
+                f"{name}: normalized time regressed {delta:+.1%} "
+                f"(limit {args.threshold:+.0%})")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the slowdown is intended, re-baseline with:\n"
+              "  ./build/bench/micro_core --benchmark_out=results/"
+              "BENCH_micro_core.json --benchmark_out_format=json",
+              file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+// dcws_top: live cluster view over a running DCWS group.  Polls every
+// host's /.dcws/status (load + table gauges) and /.dcws/events
+// (incremental since-sequence cursor) and renders a per-host load table
+// plus the merged, wall-clock-ordered cluster timeline of migration /
+// recall / liveness decisions — the operator's view of the paper's
+// distributed data management in motion.
+//
+//   dcws_top HOST:PORT [HOST:PORT ...] [--interval S] [--once]
+//            [--events N]
+//
+// Hosts are dcws_serve listen endpoints on this machine (the tool dials
+// loopback).  --once prints a single frame and exits (CI); --events
+// bounds the timeline tail (default 12 in loop mode, unbounded with
+// --once).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/http/message.h"
+#include "src/net/tcp.h"
+
+using namespace dcws;
+
+namespace {
+
+struct Host {
+  std::string label;   // as given: HOST:PORT
+  uint16_t port = 0;   // loopback dial port
+  uint64_t cursor = 0;  // last event seq seen (per-host ?since=)
+  bool reachable = false;
+};
+
+// One merged-timeline entry, parsed out of an events JSON line.
+struct TimelineEvent {
+  uint64_t at_us = 0;
+  uint64_t seq = 0;
+  std::string host;  // polled endpoint label
+  std::string line;  // rendered text
+};
+
+Result<http::Response> Fetch(uint16_t port, const std::string& target) {
+  http::Request request;
+  request.method = "GET";
+  request.target = target;
+  return net::TcpCall(port, request);
+}
+
+// Scans `json` for `"key":<number>` after `from` and returns the value;
+// the export schema is regular enough that this needs no JSON parser.
+double NumberField(const std::string& json, const std::string& key,
+                   size_t from = 0, double fallback = 0) {
+  size_t at = json.find("\"" + key + "\":", from);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(json.c_str() + at + key.size() + 3, nullptr);
+}
+
+std::string StringField(const std::string& json, const std::string& key,
+                        size_t from = 0) {
+  size_t at = json.find("\"" + key + "\":\"", from);
+  if (at == std::string::npos) return "";
+  size_t start = at + key.size() + 4;
+  size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  return json.substr(start, end - start);
+}
+
+// Value of metric `name` in a /.dcws/status?format=json body (same
+// hand-rolled scan the test harness uses).
+double MetricValue(const std::string& json, const std::string& name) {
+  size_t at = json.find("\"name\":\"" + name + "\"");
+  if (at == std::string::npos) return 0;
+  return NumberField(json, "value", at);
+}
+
+void RenderStatusRow(Host& host) {
+  auto status = Fetch(host.port, "/.dcws/status?format=json");
+  if (!status.ok() || status->status_code != 200) {
+    host.reachable = false;
+    std::printf("%-18s %10s\n", host.label.c_str(), "DOWN");
+    return;
+  }
+  host.reachable = true;
+  const std::string& json = status->body;
+  std::printf(
+      "%-18s %8.1f %10.0f %6.0f %6.0f %6.0f %7.0f/%-6.0f %5.0f\n",
+      host.label.c_str(), MetricValue(json, "dcws_load_cps"),
+      MetricValue(json, "dcws_load_bps"),
+      MetricValue(json, "dcws_documents"),
+      MetricValue(json, "dcws_migrated_documents"),
+      MetricValue(json, "dcws_coop_hosted_documents"),
+      MetricValue(json, "dcws_event_journal_depth"),
+      MetricValue(json, "dcws_event_journal_dropped"),
+      MetricValue(json, "dcws_glt_peers"));
+}
+
+// Pulls events past the host's cursor and appends rendered entries.
+void CollectEvents(Host& host, std::vector<TimelineEvent>& out) {
+  if (!host.reachable) return;
+  auto events = Fetch(host.port, "/.dcws/events?format=json&since=" +
+                                     std::to_string(host.cursor));
+  if (!events.ok() || events->status_code != 200) return;
+  const std::string& body = events->body;
+  // Each event object sits on its own line inside "events":[...].
+  size_t at = body.find("\"events\":[");
+  while (at != std::string::npos) {
+    at = body.find("\n{", at);
+    if (at == std::string::npos) break;
+    size_t end = body.find('\n', at + 1);
+    std::string line = body.substr(
+        at + 1, end == std::string::npos ? std::string::npos
+                                         : end - at - 1);
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    TimelineEvent event;
+    event.at_us = static_cast<uint64_t>(NumberField(line, "at_us"));
+    event.seq = static_cast<uint64_t>(NumberField(line, "seq"));
+    event.host = host.label;
+    std::string rendered = StringField(line, "type");
+    if (std::string doc = StringField(line, "doc"); !doc.empty()) {
+      rendered += " " + doc;
+    }
+    if (std::string peer = StringField(line, "peer"); !peer.empty()) {
+      rendered += " <-> " + peer;
+    }
+    if (std::string detail = StringField(line, "detail");
+        !detail.empty()) {
+      rendered += "  (" + detail + ")";
+    }
+    event.line = std::move(rendered);
+    host.cursor = std::max(host.cursor, event.seq);
+    out.push_back(std::move(event));
+    at = end;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Host> hosts;
+  double interval = 2.0;
+  bool once = false;
+  long max_events = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--interval") && i + 1 < argc) {
+      interval = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--once")) {
+      once = true;
+    } else if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
+      max_events = std::atol(argv[++i]);
+    } else {
+      const char* colon = std::strrchr(argv[i], ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "bad host (want HOST:PORT): %s\n",
+                     argv[i]);
+        return 2;
+      }
+      Host host;
+      host.label = argv[i];
+      host.port = static_cast<uint16_t>(std::atoi(colon + 1));
+      hosts.push_back(std::move(host));
+    }
+  }
+  if (hosts.empty()) {
+    std::fprintf(stderr,
+                 "usage: dcws_top HOST:PORT [HOST:PORT ...] "
+                 "[--interval S] [--once] [--events N]\n");
+    return 2;
+  }
+  if (max_events < 0) max_events = once ? LONG_MAX : 12;
+
+  std::vector<TimelineEvent> timeline;
+  while (true) {
+    if (!once) std::printf("\033[2J\033[H");  // clear screen, home
+    std::printf("== dcws cluster: %zu hosts ==\n", hosts.size());
+    std::printf("%-18s %8s %10s %6s %6s %6s %7s/%-6s %5s\n", "host",
+                "cps", "bps", "docs", "moved", "hosted", "events",
+                "evctd", "peers");
+    for (Host& host : hosts) RenderStatusRow(host);
+
+    for (Host& host : hosts) CollectEvents(host, timeline);
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const TimelineEvent& a, const TimelineEvent& b) {
+                       return a.at_us < b.at_us;
+                     });
+    if (timeline.size() > static_cast<size_t>(max_events)) {
+      timeline.erase(timeline.begin(),
+                     timeline.end() - max_events);
+    }
+    std::printf("\n-- cluster timeline (merged, oldest first) --\n");
+    for (const TimelineEvent& event : timeline) {
+      std::printf("%12.3fs  %-18s #%-5llu %s\n",
+                  static_cast<double>(event.at_us) / 1e6,
+                  event.host.c_str(),
+                  static_cast<unsigned long long>(event.seq),
+                  event.line.c_str());
+    }
+    std::fflush(stdout);
+    if (once) break;
+    ::usleep(static_cast<useconds_t>(interval * 1e6));
+  }
+  return 0;
+}

@@ -9,3 +9,4 @@ endmacro()
 
 dcws_tool(dcws_serve)
 dcws_tool(dcws_get)
+dcws_tool(dcws_top)
