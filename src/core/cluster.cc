@@ -3,19 +3,19 @@
 namespace dcws::core {
 
 void LoopbackNetwork::AddServer(Server* server) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   servers_[server->address()] = server;
 }
 
 void LoopbackNetwork::RemoveServer(const http::ServerAddress& address) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   servers_.erase(address);
   down_.erase(address);
 }
 
 void LoopbackNetwork::SetDown(const http::ServerAddress& address,
                               bool down) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (down) {
     down_.insert(address);
   } else {
@@ -24,12 +24,12 @@ void LoopbackNetwork::SetDown(const http::ServerAddress& address,
 }
 
 bool LoopbackNetwork::IsDown(const http::ServerAddress& address) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return down_.contains(address);
 }
 
 Server* LoopbackNetwork::Find(const http::ServerAddress& address) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = servers_.find(address);
   return it == servers_.end() ? nullptr : it->second;
 }
@@ -38,7 +38,7 @@ Result<http::Response> LoopbackNetwork::Execute(
     const http::ServerAddress& target, const http::Request& request) {
   Server* server = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (down_.contains(target)) {
       return Status::Unavailable("server down: " + target.ToString());
     }

@@ -2,13 +2,13 @@
 #define DCWS_CORE_CLUSTER_H_
 
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/server.h"
+#include "src/util/mutex.h"
 
 namespace dcws::core {
 
@@ -32,11 +32,11 @@ class LoopbackNetwork : public PeerClient {
   Server* Find(const http::ServerAddress& address) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, Server*,
                      http::ServerAddressHash>
-      servers_;
-  std::set<http::ServerAddress> down_;
+      servers_ DCWS_GUARDED_BY(mutex_);
+  std::set<http::ServerAddress> down_ DCWS_GUARDED_BY(mutex_);
 };
 
 // Convenience owner of a fully-peered group of DCWS servers sharing one

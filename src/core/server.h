@@ -278,9 +278,10 @@ class Server {
   // params_ is written only by SetPacing (stats_interval, under
   // duty_mutex_) and read for that field only under duty_mutex_; all
   // other fields are set-once configuration.
-  http::ServerAddress self_;
-  ServerParams params_;
-  const Clock* clock_;
+  const http::ServerAddress self_;
+  // dcws-lint: allow(guarded-by): only stats_interval mutates (SetPacing,
+  ServerParams params_;  // under duty_mutex_); everything else is set-once
+  const Clock* const clock_;
 
   storage::DocumentStore store_;
   graph::LocalDocumentGraph ldg_;

@@ -76,7 +76,7 @@ class GlobalLoadTable {
   void set_journal(obs::EventJournal* journal) { journal_ = journal; }
 
  private:
-  obs::EventJournal* journal_ = nullptr;  // set-once, then read-only
+  obs::EventJournal* journal_ DCWS_CONST_AFTER_INIT = nullptr;
   mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, LoadEntry,
                      http::ServerAddressHash>

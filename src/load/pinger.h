@@ -86,7 +86,7 @@ class PingerPolicy {
       DCWS_REQUIRES(mutex_);
 
   const Config config_;  // immutable after construction; lock-free reads
-  obs::EventJournal* journal_ = nullptr;  // set-once, then read-only
+  obs::EventJournal* journal_ DCWS_CONST_AFTER_INIT = nullptr;
   mutable Mutex mutex_;
   std::unordered_map<http::ServerAddress, int, http::ServerAddressHash>
       consecutive_failures_ DCWS_GUARDED_BY(mutex_);

@@ -66,6 +66,7 @@ void InprocServerHost::StopThreads() {
 Result<http::Response> InprocServerHost::Call(
     const http::Request& request) {
   std::future<Result<http::Response>> future;
+  bool shed = false;
   {
     MutexLock lock(mutex_);
     if (!running_ || stopping_ || draining_) {
@@ -74,20 +75,26 @@ Result<http::Response> InprocServerHost::Call(
     }
     if (queue_.size() >=
         static_cast<size_t>(server_->params().socket_queue_length)) {
-      // Socket queue overflow: graceful 503 (§5.2).  The server never
-      // sees the request, so feed its outcome counters and event
-      // journal directly (the request is already parsed here, so the
-      // kQueueDrop event carries the shed target and trace id).
       dropped_ += 1;
-      server_->CountQueueDrop(&request);
-      return http::MakeOverloadedResponse();
+      shed = true;
+    } else {
+      auto job = std::make_unique<Job>();
+      job->request = request;
+      job->enqueued = server_->clock()->Now();
+      future = job->promise.get_future();
+      queue_.push_back(std::move(job));
+      accepted_ += 1;
     }
-    auto job = std::make_unique<Job>();
-    job->request = request;
-    job->enqueued = server_->clock()->Now();
-    future = job->promise.get_future();
-    queue_.push_back(std::move(job));
-    accepted_ += 1;
+  }
+  if (shed) {
+    // Socket queue overflow: graceful 503 (§5.2).  The server never
+    // sees the request, so feed its outcome counters and event journal
+    // directly (the request is already parsed here, so the kQueueDrop
+    // event carries the shed target and trace id).  The emit happens
+    // outside mutex_: it locks journal slots and may write the JSONL
+    // sink, and the queue must keep moving meanwhile.
+    server_->CountQueueDrop(&request);
+    return http::MakeOverloadedResponse();
   }
   queue_cv_.NotifyOne();
   return future.get();

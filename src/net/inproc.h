@@ -80,7 +80,9 @@ class InprocServerHost {
 
   // Joined only by Stop(), which is serialized against Start() by the
   // running_/stopping_ handshake; not touched by the pool itself.
+  // dcws-lint: allow(guarded-by): Start/Stop handshake serializes these
   std::vector<std::thread> workers_;
+  // dcws-lint: allow(guarded-by): see workers_
   std::thread duty_thread_;
 };
 

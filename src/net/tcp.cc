@@ -78,22 +78,28 @@ void TcpServerHost::AcceptLoop() {
     }
     Socket conn(fd);
     accepted_.fetch_add(1);
+    bool enqueued = false;
     {
       MutexLock lock(mutex_);
       if (pending_.size() <
           static_cast<size_t>(server_->params().socket_queue_length)) {
         pending_.push_back(
             PendingConn{std::move(conn), server_->clock()->Now()});
-      } else {
-        // Socket queue overflow: graceful 503 (§5.2) and close.  The
-        // server never sees the request; feed its outcome counters and
-        // event journal (nullptr: the drop happens before the wire
-        // bytes are parsed, so the event has no target or trace id).
-        dropped_.fetch_add(1);
-        server_->CountQueueDrop(nullptr);
-        (void)WriteAll(conn, http::MakeOverloadedResponse().Serialize());
-        continue;
+        enqueued = true;
       }
+    }
+    if (!enqueued) {
+      // Socket queue overflow: graceful 503 (§5.2) and close.  The
+      // server never sees the request; feed its outcome counters and
+      // event journal (nullptr: the drop happens before the wire bytes
+      // are parsed, so the event has no target or trace id).  Both the
+      // 503 write and the journal emit happen outside mutex_ — a slow
+      // client reading its rejection must not stall the accept path or
+      // the workers draining the queue.
+      dropped_.fetch_add(1);
+      server_->CountQueueDrop(nullptr);
+      (void)WriteAll(conn, http::MakeOverloadedResponse().Serialize());
+      continue;
     }
     queue_cv_.NotifyOne();
   }

@@ -57,8 +57,11 @@ class TcpServerHost {
 
   core::Server* server_;
   TcpNetwork* network_;
+  // Bound by Start before any thread exists; Stop only shutdown()s it
+  // (a read of the fd) until the accept thread has been joined.
+  // dcws-lint: allow(guarded-by): Start-then-Stop lifecycle, see above
   Socket listener_;
-  uint16_t port_ = 0;
+  uint16_t port_ DCWS_CONST_AFTER_INIT = 0;  // bound before threads start
 
   Mutex mutex_;
   CondVar queue_cv_;
@@ -71,8 +74,12 @@ class TcpServerHost {
   std::deque<PendingConn> pending_ DCWS_GUARDED_BY(mutex_);
   bool stopping_ DCWS_GUARDED_BY(mutex_) = false;
 
+  // Spawned by Start, joined only by Stop (idempotent via stopping_).
+  // dcws-lint: allow(guarded-by): Start/Stop lifecycle serializes these
   std::thread accept_thread_;
+  // dcws-lint: allow(guarded-by): see accept_thread_
   std::vector<std::thread> workers_;
+  // dcws-lint: allow(guarded-by): see accept_thread_
   std::thread duty_thread_;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> dropped_{0};

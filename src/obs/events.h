@@ -125,10 +125,11 @@ class EventJournal {
   static std::shared_ptr<JsonlSink> SinkForPath(const std::string& path);
 
   const std::string server_;
-  const Clock* clock_;
+  const Clock* const clock_;
   const size_t capacity_;
   std::vector<Slot> slots_;
-  std::shared_ptr<JsonlSink> sink_;  // null when no JSONL mirroring
+  // Null when no JSONL mirroring; resolved by the ctor, then read-only.
+  std::shared_ptr<JsonlSink> sink_ DCWS_CONST_AFTER_INIT;
   std::atomic<uint64_t> next_{0};
   std::array<std::atomic<uint64_t>, kEventTypeCount> type_counts_{};
 };

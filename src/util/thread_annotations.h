@@ -75,4 +75,14 @@
 #define DCWS_ASSERT_CAPABILITY(x) \
   DCWS_THREAD_ANNOTATION_(assert_capability(x))
 
+// Declared intent, not a clang attribute: the field is written exactly
+// once — in the constructor or before any thread can observe the object
+// (e.g. set_journal wiring, instrument handles resolved by InitMetrics)
+// — and is read-only for the rest of its life, so it needs no mutex.
+// C++ cannot always express this as `const` (two-phase init, members of
+// movable types).  tools/dcws_lint.py treats it as satisfying guarded-by
+// completeness; reviewers should treat a write to such a field after
+// publication as a bug.
+#define DCWS_CONST_AFTER_INIT
+
 #endif  // DCWS_UTIL_THREAD_ANNOTATIONS_H_

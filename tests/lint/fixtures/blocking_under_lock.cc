@@ -1,0 +1,44 @@
+// Fixture for dcws_lint check `blocking-under-lock`: a sleep inside a
+// live MutexLock scope and a condition wait with a second lock held.
+#include <chrono>
+#include <thread>
+
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Poller {
+ public:
+  void PauseWhileLocked() {
+    dcws::MutexLock lock(mutex_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // finding
+    state_ = 1;
+  }
+
+  void PausePolitely() {
+    {
+      dcws::MutexLock lock(mutex_);
+      state_ = 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // ok
+  }
+
+  void WaitHoldingTwoLocks() {
+    dcws::MutexLock outer(other_mutex_);
+    dcws::MutexLock lock(mutex_);
+    cv_.Wait(mutex_);  // finding: other_mutex_ is still held
+  }
+
+  void WaitCorrectly() {
+    dcws::MutexLock lock(mutex_);
+    while (state_ == 0) cv_.Wait(mutex_);  // ok: only its own mutex
+  }
+
+ private:
+  mutable dcws::Mutex mutex_;
+  mutable dcws::Mutex other_mutex_;
+  dcws::CondVar cv_;
+  int state_ DCWS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

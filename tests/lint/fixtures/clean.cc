@@ -1,0 +1,55 @@
+// Fixture asserting dcws_lint reports nothing on fully-disciplined
+// code: annotated fields, locked accessors, an emitting Decide, and a
+// schema-conformant metric name.
+#include <optional>
+#include <string>
+
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class CleanTable {
+ public:
+  void Put(int v) {
+    dcws::MutexLock lock(mutex_);
+    value_ = v;
+  }
+
+  int GetLocked() const DCWS_REQUIRES(mutex_) { return value_; }
+
+ private:
+  mutable dcws::Mutex mutex_;
+  int value_ DCWS_GUARDED_BY(mutex_) = 0;
+  const int limit_ = 16;
+};
+
+struct CleanVerdict {
+  std::string doc;
+};
+
+struct CleanJournal {
+  void Emit(int event);
+};
+
+class PolitePolicy {
+ public:
+  std::optional<CleanVerdict> Decide(double load) {
+    if (load < 1.0) return std::nullopt;
+    CleanVerdict verdict{"doc"};
+    journal_->Emit(1);
+    return verdict;  // ok: emitted just above, same block
+  }
+
+ private:
+  CleanJournal* journal_ = nullptr;
+};
+
+struct CleanRegistry {
+  int* GetCounter(const char* name);
+};
+
+inline void RegisterCleanMetrics(CleanRegistry& registry) {
+  registry.GetCounter("dcws_fixture_requests_total");  // ok
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture for dcws_lint check `event-schema`: a *Policy::Decide with a
+// positive outcome path that never emits a journal event, and metric
+// registrations violating the dcws_[a-z0-9_]+ naming schema.
+#include <optional>
+#include <string>
+
+namespace fixture {
+
+struct Verdict {
+  std::string doc;
+};
+
+class GreedyPolicy {
+ public:
+  std::optional<Verdict> Decide(double load) {
+    if (load < 1.0) return std::nullopt;  // ok: negative path
+    Verdict verdict{"doc"};
+    return verdict;  // finding: positive path without a journal emit
+  }
+};
+
+struct FakeRegistry {
+  int* GetCounter(const char* name);
+  int* GetGauge(const char* name);
+};
+
+class Metrics {
+ public:
+  void Register() {
+    registry_.GetCounter("requests_total");       // finding: no prefix
+    registry_.GetCounter("dcws_requests_total");  // ok
+    registry_.GetGauge("dcws_BadName");           // finding: uppercase
+  }
+
+ private:
+  FakeRegistry registry_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture for dcws_lint check `guarded-by`: one unguarded mutable field
+// and one method touching guarded state without the lock.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Table {
+ public:
+  int Get() const {
+    dcws::MutexLock lock(mutex_);
+    return guarded_;  // ok: lock held
+  }
+
+  int GetLocked() const DCWS_REQUIRES(mutex_) {
+    return guarded_;  // ok: caller holds the lock
+  }
+
+  void Bump() {
+    ++guarded_;  // finding: guarded_ touched without mutex_
+  }
+
+ private:
+  mutable dcws::Mutex mutex_;
+  int guarded_ DCWS_GUARDED_BY(mutex_) = 0;
+  int plain_ = 0;         // finding: mutable field with no guard
+  const int limit_ = 16;  // ok: const
+};
+
+}  // namespace fixture

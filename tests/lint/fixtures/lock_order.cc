@@ -1,0 +1,27 @@
+// Fixture for dcws_lint check `lock-order`: two methods acquire the
+// same pair of mutexes in opposite orders — the classic ABBA deadlock.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Transfer {
+ public:
+  void Credit() {
+    dcws::MutexLock a(a_mutex_);
+    dcws::MutexLock b(b_mutex_);  // edge a_mutex_ -> b_mutex_
+    ++moved_;
+  }
+
+  void Debit() {
+    dcws::MutexLock b(b_mutex_);
+    dcws::MutexLock a(a_mutex_);  // edge b_mutex_ -> a_mutex_: cycle
+    ++moved_;
+  }
+
+ private:
+  dcws::Mutex a_mutex_;
+  dcws::Mutex b_mutex_;
+  int moved_ DCWS_GUARDED_BY(a_mutex_) = 0;
+};
+
+}  // namespace fixture

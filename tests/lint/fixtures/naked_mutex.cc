@@ -1,0 +1,20 @@
+// Fixture for dcws_lint check `naked-mutex`.  Not compiled into the
+// build — parsed by tests/lint/lint_test.py, which asserts the exact
+// finding set in tests/lint/expected/naked_mutex.txt.
+#include <mutex>
+
+namespace fixture {
+
+class NakedCounter {
+ public:
+  void Increment() {
+    std::lock_guard lock(mutex_);  // finding: std::lock_guard
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;  // finding: std::mutex
+  int count_ = 0;
+};
+
+}  // namespace fixture

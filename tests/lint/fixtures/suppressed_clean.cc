@@ -1,0 +1,14 @@
+// Fixture asserting `// dcws-lint: allow(...)` suppresses a finding on
+// its own line and on the line after a standalone comment.
+#include <mutex>
+
+namespace fixture {
+
+class Legacy {
+ private:
+  std::mutex raw_;  // dcws-lint: allow(naked-mutex): suppression test
+  // dcws-lint: allow(naked-mutex): standalone form, covers next line
+  std::mutex also_raw_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture asserting stale suppressions are themselves findings.
+namespace fixture {
+
+// dcws-lint: allow(guarded-by): stale — nothing below violates anything
+class Empty {};
+
+}  // namespace fixture

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Golden tests for tools/dcws_lint.py.
+
+Each fixture under fixtures/ carries known violations of exactly one
+check (plus clean/suppression fixtures); expected/<name>.txt holds the
+full expected stdout.  The driver asserts the exact finding set, the
+exit code contract (1 iff findings survive suppression), the DOT
+emission for the lock-order fixture, and --json well-formedness.
+
+Runs under plain python3 (stdlib only) so it works as a ctest target in
+containers without pytest; exits non-zero on the first mismatch batch
+with a unified diff per failing fixture.
+"""
+
+import difflib
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "dcws_lint.py")
+
+
+def run_lint(args):
+    return subprocess.run(
+        [sys.executable, LINT, "--no-summary"] + args,
+        cwd=HERE, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    fixtures = sorted(glob.glob(os.path.join(HERE, "fixtures", "*.cc")))
+    if not fixtures:
+        print("FAIL: no fixtures found", file=sys.stderr)
+        return 1
+
+    for path in fixtures:
+        name = os.path.splitext(os.path.basename(path))[0]
+        rel = os.path.join("fixtures", os.path.basename(path))
+        golden_path = os.path.join(HERE, "expected", name + ".txt")
+        with open(golden_path) as f:
+            want = f.read()
+        result = run_lint([rel])
+        want_exit = 1 if want.strip() else 0
+        if result.returncode != want_exit:
+            failures.append(
+                f"{name}: exit {result.returncode}, want {want_exit}\n"
+                f"stderr: {result.stderr}")
+        if result.stdout != want:
+            diff = "".join(difflib.unified_diff(
+                want.splitlines(keepends=True),
+                result.stdout.splitlines(keepends=True),
+                fromfile=f"expected/{name}.txt",
+                tofile="actual"))
+            failures.append(f"{name}: output mismatch\n{diff}")
+
+    # The lock-order fixture must emit a DOT graph with the cycle
+    # highlighted.
+    with tempfile.TemporaryDirectory() as tmp:
+        dot_path = os.path.join(tmp, "graph.dot")
+        result = run_lint(
+            [os.path.join("fixtures", "lock_order.cc"),
+             "--dot", dot_path])
+        if not os.path.exists(dot_path):
+            failures.append("lock_order --dot: no DOT file written")
+        else:
+            with open(dot_path) as f:
+                dot = f.read()
+            for needle in ("digraph dcws_locks",
+                           "\"Transfer::a_mutex_\" -> "
+                           "\"Transfer::b_mutex_\"",
+                           "color=red"):
+                if needle not in dot:
+                    failures.append(
+                        f"lock_order --dot: missing {needle!r} in\n"
+                        f"{dot}")
+
+    # --json emits one well-formed object per finding.
+    result = run_lint(
+        [os.path.join("fixtures", "naked_mutex.cc"), "--json"])
+    try:
+        findings = json.loads(result.stdout)
+        if len(findings) != 2 or any(
+                f["check"] != "naked-mutex" for f in findings):
+            failures.append(f"--json: unexpected payload: {findings}")
+    except json.JSONDecodeError as e:
+        failures.append(f"--json: invalid JSON ({e}): {result.stdout}")
+
+    # A multi-file invocation merges findings across translation units.
+    result = run_lint([os.path.join("fixtures", "naked_mutex.cc"),
+                       os.path.join("fixtures", "guarded_by.cc")])
+    if result.stdout.count("\n") != 4 or result.returncode != 1:
+        failures.append(
+            "multi-file run: want 4 findings / exit 1, got "
+            f"{result.returncode}:\n{result.stdout}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} mismatch(es)\n", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+            print("-" * 60, file=sys.stderr)
+        return 1
+    print(f"ok: {len(fixtures)} fixture(s), DOT, --json, multi-file")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

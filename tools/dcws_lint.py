@@ -1,0 +1,1440 @@
+#!/usr/bin/env python3
+"""dcws_lint: DCWS project-invariant static analysis.
+
+Five checks over the C++ tree that encode invariants specific to this
+codebase — things generic clang-tidy profiles cannot know (see DESIGN.md
+"Static-analysis invariants"):
+
+  naked-mutex          std::mutex / std::lock_guard / std::unique_lock /
+                       std::shared_mutex / std::condition_variable (and
+                       friends) anywhere outside src/util/mutex.h.  All
+                       DCWS code locks through the annotated dcws::Mutex
+                       wrappers so clang's thread-safety analysis can see
+                       every acquisition.
+  guarded-by           In any class that owns a dcws::Mutex/SharedMutex:
+                       every mutable field must be DCWS_GUARDED_BY one of
+                       the class's mutexes (const, std::atomic, other
+                       internally-synchronized objects and fields marked
+                       DCWS_CONST_AFTER_INIT are exempt), and every
+                       method whose body touches a guarded field must
+                       acquire the guarding mutex or carry a
+                       DCWS_REQUIRES annotation.
+  blocking-under-lock  Sleeps, socket sends/receives, peer RPCs
+                       (PeerClient::Execute), file I/O and waits on a
+                       condition variable other than the held one, while
+                       a MutexLock / WriterMutexLock / ReaderMutexLock is
+                       live (or inside a DCWS_REQUIRES-annotated body).
+  lock-order           The static lock-acquisition graph (nested RAII
+                       scopes + DCWS_REQUIRES entries + calls into
+                       self-locking methods, closed transitively) must be
+                       acyclic.  --dot writes the graph as Graphviz.
+  event-schema         Every positive outcome path of a *Policy::Decide
+                       must emit a journal event (RecordDecision /
+                       EventJournal::Emit) before returning, and every
+                       metric registered through obs::Registry must match
+                       dcws_[a-z0-9_]+.
+
+Suppression: `// dcws-lint: allow(check-a, check-b): justification`
+suppresses findings of the named checks on the same line, or on the next
+line when the comment stands alone.  Suppressions that match nothing are
+themselves reported (unused-suppression) so stale escapes cannot rot.
+
+The front-end is a self-contained C++ lexer + structural parser (classes,
+fields, annotation macros, method bodies, RAII lock scopes).  It needs no
+compiler, no libclang and no compile_commands.json — when the latter is
+present (-p builddir) it is used only to restrict the file list to
+translation units the build actually compiles, plus all headers under the
+roots.  The analysis is deliberately flow-insensitive and
+name-resolution-lite; where it cannot prove code clean it errs toward
+reporting, and the suppression comment is the reviewed escape hatch.
+
+Exit status: 0 when no findings, 1 when any finding survives
+suppression, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CHECKS = (
+    "naked-mutex",
+    "guarded-by",
+    "blocking-under-lock",
+    "lock-order",
+    "event-schema",
+)
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_PUNCT2 = {"::", "->", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+           "+=", "-=", "*=", "/=", "++", "--"}
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind  # 'id' | 'num' | 'str' | 'chr' | 'p'
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+class SourceFile:
+    def __init__(self, path, display_path, text):
+        self.path = path
+        self.display = display_path
+        self.text = text
+        self.tokens = []
+        # line -> set of check names allowed there
+        self.suppressions = {}   # line -> Suppression
+        self._lex()
+
+    def _add_suppression(self, line, standalone, comment):
+        m = re.search(
+            r"dcws-lint:\s*allow\(\s*"
+            r"([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)\s*\)",
+            comment)
+        if not m:
+            return
+        checks = [c.strip() for c in m.group(1).split(",") if c.strip()]
+        self.suppressions[line] = Suppression(line, standalone, checks)
+
+    def _lex(self):
+        text = self.text
+        n = len(text)
+        i = 0
+        line = 1
+        line_start = True  # only whitespace/comments so far on this line
+        toks = self.tokens
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                line_start = True
+                i += 1
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            if c == "#" and line_start:
+                # Preprocessor directive (with continuations).
+                while i < n:
+                    if text[i] == "\n":
+                        if text[i - 1] == "\\":
+                            line += 1
+                            i += 1
+                            continue
+                        break
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                j = text.find("\n", i)
+                if j < 0:
+                    j = n
+                self._add_suppression(line, line_start, text[i:j])
+                i = j
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                if j < 0:
+                    j = n
+                else:
+                    j += 2
+                self._add_suppression(line, line_start, text[i:j])
+                line += text.count("\n", i, j)
+                i = j
+                continue
+            line_start = False
+            if c == '"':
+                if toks and toks[-1].kind == "id" and toks[-1].text == "R":
+                    # Raw string literal R"delim( ... )delim".
+                    m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
+                    if m:
+                        end = text.find(")" + m.group(1) + '"', i)
+                        if end < 0:
+                            end = n
+                        else:
+                            end += len(m.group(1)) + 2
+                        toks.pop()
+                        body = text[i:end]
+                        toks.append(Tok("str", body, line))
+                        line += body.count("\n")
+                        i = end
+                        continue
+                j = i + 1
+                while j < n and text[j] != '"':
+                    if text[j] == "\\":
+                        j += 1
+                    j += 1
+                toks.append(Tok("str", text[i + 1:j], line))
+                i = j + 1
+                continue
+            if c == "'":
+                j = i + 1
+                while j < n and text[j] != "'":
+                    if text[j] == "\\":
+                        j += 1
+                    j += 1
+                toks.append(Tok("chr", text[i + 1:j], line))
+                i = j + 1
+                continue
+            if c in _ID_START:
+                j = i + 1
+                while j < n and text[j] in _ID_CONT:
+                    j += 1
+                toks.append(Tok("id", text[i:j], line))
+                i = j
+                continue
+            if c.isdigit():
+                j = i + 1
+                while j < n and (text[j] in _ID_CONT or text[j] == "."):
+                    j += 1
+                toks.append(Tok("num", text[i:j], line))
+                i = j
+                continue
+            if text[i:i + 2] in _PUNCT2:
+                toks.append(Tok("p", text[i:i + 2], line))
+                i += 2
+                continue
+            toks.append(Tok("p", c, line))
+            i += 1
+
+
+class Suppression:
+    def __init__(self, line, standalone, checks):
+        self.line = line
+        self.standalone = standalone
+        self.checks = checks
+        self.used = False
+
+
+# ----------------------------------------------------------------------
+# Structural model
+# ----------------------------------------------------------------------
+
+CAPABILITY_TYPES = {"Mutex", "SharedMutex"}
+RAII_LOCKS = {"MutexLock": "excl", "WriterMutexLock": "excl",
+              "ReaderMutexLock": "shared"}
+GUARD_MACROS = {"DCWS_GUARDED_BY", "DCWS_PT_GUARDED_BY"}
+HOLD_MACROS = {"DCWS_REQUIRES", "DCWS_REQUIRES_SHARED", "DCWS_ACQUIRE",
+               "DCWS_ACQUIRE_SHARED", "DCWS_TRY_ACQUIRE",
+               "DCWS_ASSERT_CAPABILITY"}
+METHOD_ANNOS = HOLD_MACROS | {"DCWS_EXCLUDES", "DCWS_RELEASE",
+                              "DCWS_RELEASE_SHARED",
+                              "DCWS_NO_THREAD_SAFETY_ANALYSIS",
+                              "DCWS_RETURN_CAPABILITY"}
+MEMBER_KEYWORDS_SKIP = {"using", "typedef", "friend", "static_assert",
+                        "template", "enum"}
+ACCESS_SPECS = {"public", "private", "protected"}
+
+
+class Field:
+    __slots__ = ("name", "line", "type_tokens", "guard", "is_const",
+                 "is_static", "is_atomic", "is_capability", "is_condvar",
+                 "const_after_init")
+
+    def __init__(self, name, line, type_tokens):
+        self.name = name
+        self.line = line
+        self.type_tokens = type_tokens
+        self.guard = None
+        self.is_const = False
+        self.is_static = False
+        self.is_atomic = False
+        self.is_capability = False
+        self.is_condvar = False
+        self.const_after_init = False
+
+
+class Method:
+    __slots__ = ("name", "line", "annos", "body", "file", "is_special")
+
+    def __init__(self, name, line, annos, body, file, is_special):
+        self.name = name
+        self.line = line
+        self.annos = annos          # list of (macro, [arg-expr, ...])
+        self.body = body            # (SourceFile, start, end) or None
+        self.file = file
+        self.is_special = is_special  # ctor/dtor/operator/deleted
+
+
+class ClassModel:
+    def __init__(self, name, qualified, file, line):
+        self.name = name
+        self.qualified = qualified
+        self.file = file
+        self.line = line
+        self.fields = []
+        self.methods = {}  # name -> [Method]
+
+    @property
+    def capability_fields(self):
+        return [f for f in self.fields if f.is_capability]
+
+    def field(self, name):
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def add_method(self, m):
+        self.methods.setdefault(m.name, []).append(m)
+
+
+def _match(toks, i, opener, closer):
+    """Index just past the bracket pair opening at i."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if toks[i].kind == "p":
+            if t == opener:
+                depth += 1
+            elif t == closer:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _extract_macro_args(toks, i):
+    """toks[i] is the macro name id; returns (args, next_index)."""
+    if i + 1 >= len(toks) or toks[i + 1].text != "(":
+        return [], i + 1
+    end = _match(toks, i + 1, "(", ")")
+    args, cur, depth = [], [], 0
+    for t in toks[i + 2:end - 1]:
+        if t.kind == "p" and t.text in "([{":
+            depth += 1
+        elif t.kind == "p" and t.text in ")]}":
+            depth -= 1
+        if t.kind == "p" and t.text == "," and depth == 0:
+            args.append("".join(x.text for x in cur))
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        args.append("".join(x.text for x in cur))
+    return args, end
+
+
+def _norm_expr(expr):
+    expr = expr.replace(" ", "")
+    if expr.startswith("this->"):
+        expr = expr[len("this->"):]
+    return expr
+
+
+class Project:
+    """Whole-tree model shared by all checks."""
+
+    def __init__(self):
+        self.files = []
+        self.classes = {}     # unqualified name -> [ClassModel]
+        self.findings = []
+        # internally-synchronized class names (owns a capability at any
+        # nesting depth, or every field is const/static/atomic)
+        self.synced = set(CAPABILITY_TYPES) | {"CondVar"}
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, sf, line, check, message, hint=None):
+        self.findings.append(
+            {"file": sf.display, "line": line, "check": check,
+             "message": message, "hint": hint or "", "_sf": sf})
+
+    # -- model building -------------------------------------------------
+
+    def add_file(self, sf):
+        self.files.append(sf)
+        self._scan_classes(sf, 0, len(sf.tokens))
+
+    def _scan_classes(self, sf, start, end):
+        toks = sf.tokens
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind == "id" and t.text in ("class", "struct"):
+                if i > 0 and toks[i - 1].kind == "id" \
+                        and toks[i - 1].text == "enum":
+                    i += 1
+                    continue
+                # Collect the head up to '{' or ';'.
+                j = i + 1
+                depth = 0
+                while j < end:
+                    tj = toks[j]
+                    if tj.kind == "p":
+                        if tj.text in "([":
+                            depth += 1
+                        elif tj.text in ")]":
+                            depth -= 1
+                        elif tj.text in ("{", ";") and depth == 0:
+                            break
+                    j += 1
+                if j >= end or toks[j].text == ";":
+                    i = j + 1
+                    continue
+                head = toks[i + 1:j]
+                # Trim the base-clause: first ':' at depth 0 (not '::').
+                depth = 0
+                name_toks = []
+                for h in head:
+                    if h.kind == "p":
+                        if h.text in "([":
+                            depth += 1
+                        elif h.text in ")]":
+                            depth -= 1
+                        elif h.text == ":" and depth == 0:
+                            break
+                    name_toks.append(h)
+                ids = [h.text for h in name_toks
+                       if h.kind == "id" and h.text != "final"]
+                body_end = _match(toks, j, "{", "}")
+                if ids:
+                    name = ids[-1]
+                    qualified = "::".join(
+                        x for x in ids if x == name or True) \
+                        if "::" in "".join(h.text for h in name_toks) \
+                        else name
+                    cls = ClassModel(name, qualified, sf, t.line)
+                    self._parse_class_body(sf, cls, j + 1, body_end - 1,
+                                           t.text == "struct")
+                    self.classes.setdefault(name, []).append(cls)
+                i = body_end
+                continue
+            i += 1
+
+    def _parse_class_body(self, sf, cls, start, end, is_struct):
+        toks = sf.tokens
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind == "id" and t.text in ACCESS_SPECS \
+                    and i + 1 < end and toks[i + 1].text == ":":
+                i += 2
+                continue
+            if t.kind == "p" and t.text == ";":
+                i += 1
+                continue
+            if t.kind == "id" and t.text in ("class", "struct") \
+                    and not (i > start and toks[i - 1].text == "enum"):
+                # Nested class: recurse via the main scanner.
+                save_end = end
+                self._scan_classes(sf, i, save_end)
+                # Skip past it.
+                j = i
+                while j < end and toks[j].text not in ("{", ";"):
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    j = _match(toks, j, "{", "}")
+                    if j < end and toks[j].text == ";":
+                        j += 1
+                else:
+                    j += 1
+                i = j
+                continue
+            if t.kind == "id" and t.text in MEMBER_KEYWORDS_SKIP:
+                # Skip to ';' (or over an enum body).
+                j = i
+                while j < end and toks[j].text != ";":
+                    if toks[j].text == "{":
+                        j = _match(toks, j, "{", "}")
+                        continue
+                    j += 1
+                i = j + 1
+                continue
+            member, body, i = self._read_member(sf, i, end)
+            if member:
+                self._classify_member(sf, cls, member, body)
+
+    def _read_member(self, sf, i, end):
+        """Returns (decl_tokens, body_range_or_None, next_index)."""
+        toks = sf.tokens
+        decl = []
+        depth = 0
+        had_params = False
+        in_init_list = False
+        j = i
+        while j < end:
+            t = toks[j]
+            if t.kind == "p":
+                if t.text in "([":
+                    if t.text == "(" and depth == 0:
+                        had_params = True
+                    depth += 1
+                elif t.text in ")]":
+                    depth -= 1
+                elif t.text == ":" and depth == 0 and had_params:
+                    in_init_list = True
+                elif t.text == ";" and depth == 0:
+                    decl.append(t)
+                    return decl, None, j + 1
+                elif t.text == "{" and depth == 0:
+                    prev = toks[j - 1] if j > 0 else None
+                    is_body = had_params and not (
+                        in_init_list and prev is not None
+                        and prev.kind == "id")
+                    if is_body:
+                        body_end = _match(toks, j, "{", "}")
+                        k = body_end
+                        if k < end and toks[k].text == ";":
+                            k += 1
+                        return decl, (j + 1, body_end - 1), k
+                    # Brace initializer: consume it.
+                    j = _match(toks, j, "{", "}")
+                    continue
+            decl.append(t)
+            j += 1
+        return decl, None, end
+
+    def _classify_member(self, sf, cls, decl, body):
+        texts = [t.text for t in decl]
+        if not texts:
+            return
+        # Annotation macros and their arguments.
+        annos = []
+        k = 0
+        while k < len(decl):
+            if decl[k].kind == "id" and (
+                    decl[k].text in METHOD_ANNOS
+                    or decl[k].text in GUARD_MACROS):
+                args, nk = _extract_macro_args(decl, k)
+                annos.append((decl[k].text, [_norm_expr(a) for a in args]))
+                k = nk
+                continue
+            k += 1
+
+        is_method = "operator" in texts
+        method_name = None
+        name_line = decl[0].line
+        if not is_method:
+            # A '(' whose matching ')' is followed by a method-ish token.
+            depth = 0
+            for idx, t in enumerate(decl):
+                if t.kind != "p":
+                    continue
+                if t.text == "(" and depth == 0 and idx > 0 \
+                        and decl[idx - 1].kind == "id" \
+                        and decl[idx - 1].text not in GUARD_MACROS \
+                        and not decl[idx - 1].text.startswith("DCWS_"):
+                    close = _match(decl, idx, "(", ")")
+                    nxt = decl[close] if close < len(decl) else None
+                    after = nxt.text if nxt is not None else (
+                        "{" if body else ";")
+                    if body or after in (";", "{", "=", ":", "->") \
+                            or after in ("const", "override", "final",
+                                         "noexcept") \
+                            or after.startswith("DCWS_"):
+                        is_method = True
+                        method_name = decl[idx - 1].text
+                        name_line = decl[idx - 1].line
+                        break
+                if t.text in "([":
+                    depth += 1
+                elif t.text in ")]":
+                    depth -= 1
+        if is_method:
+            special = (method_name is None or method_name == cls.name
+                       or "~" in texts or "delete" in texts
+                       or "default" in texts)
+            m = Method(method_name or "operator", name_line, annos,
+                       (sf, body[0], body[1]) if body else None, sf,
+                       special)
+            cls.add_method(m)
+            return
+        if body is not None:
+            return  # nested function-ish thing we failed to classify
+        # Field.  Strip trailing "= init" and annotation macros.
+        depth = 0
+        cut = len(decl)
+        for idx, t in enumerate(decl):
+            if t.kind == "p":
+                if t.text in "([":
+                    depth += 1
+                elif t.text in ")]":
+                    depth -= 1
+                elif t.text == "=" and depth == 0:
+                    cut = idx
+                    break
+        core = [t for t in decl[:cut]
+                if not (t.kind == "p" and t.text == ";")]
+        # Remove annotation macro invocations from the declarator.
+        stripped = []
+        k = 0
+        while k < len(core):
+            if core[k].kind == "id" and core[k].text.startswith("DCWS_"):
+                _, nk = _extract_macro_args(core, k)
+                k = nk
+                continue
+            stripped.append(core[k])
+            k += 1
+        ids = [t for t in stripped if t.kind == "id"
+               and t.text not in ("mutable", "static", "constexpr",
+                                  "inline", "volatile")]
+        if not ids:
+            return
+        name_tok = ids[-1]
+        f = Field(name_tok.text, name_tok.line,
+                  [t.text for t in stripped])
+        for macro, args in annos:
+            if macro in GUARD_MACROS and args:
+                f.guard = args[0]
+            if macro == "DCWS_REQUIRES":
+                pass
+        f.const_after_init = "DCWS_CONST_AFTER_INIT" in texts
+        f.is_static = "static" in texts or "constexpr" in texts
+        f.is_atomic = "atomic" in f.type_tokens
+        f.is_condvar = "CondVar" in f.type_tokens
+        f.is_capability = any(x in CAPABILITY_TYPES
+                              for x in f.type_tokens)
+        # const member: a 'const' with no * / & between it and the name.
+        type_part = [t.text for t in stripped[:-1]] \
+            if len(stripped) > 1 else []
+        if "const" in type_part:
+            last_const = len(type_part) - 1 - type_part[::-1].index("const")
+            tail = type_part[last_const + 1:]
+            f.is_const = "*" not in tail and "&" not in tail
+        cls.fields.append(f)
+
+    def finalize_synced(self):
+        """Fixpoint over "internally synchronized" class names.
+
+        A class is internally synchronized when it owns a capability
+        directly, or when every field is immutable, atomic, guarded, or
+        itself of an internally-synchronized type (EventJournal, whose
+        only mutexes live in its nested Slot, qualifies through the
+        second rule).  Name collisions resolve pessimistically: every
+        class model sharing the name must qualify.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for name, cands in self.classes.items():
+                if name in self.synced:
+                    continue
+
+                def qualifies(cls):
+                    if cls.capability_fields:
+                        return True
+                    if not cls.fields:
+                        return False
+                    return all(
+                        f.is_const or f.is_static or f.is_atomic
+                        or f.is_capability or f.is_condvar or f.guard
+                        or f.const_after_init
+                        or any(t in self.synced
+                               for t in f.type_tokens)
+                        for f in cls.fields)
+
+                if all(qualifies(c) for c in cands):
+                    self.synced.add(name)
+                    changed = True
+
+    # -- out-of-line definitions ---------------------------------------
+
+    def attach_out_of_line(self):
+        for sf in self.files:
+            toks = sf.tokens
+            n = len(toks)
+            i = 0
+            while i < n - 3:
+                if toks[i].kind == "id" and toks[i + 1].text == "::" \
+                        and toks[i].text in self.classes:
+                    j = i + 2
+                    is_dtor = toks[j].text == "~"
+                    if is_dtor:
+                        j += 1
+                    if j < n and toks[j].kind == "id" \
+                            and j + 1 < n and toks[j + 1].text == "(":
+                        name = toks[j].text
+                        close = _match(toks, j + 1, "(", ")")
+                        body = self._find_body(toks, close, n)
+                        if body:
+                            cls = self._pick_class(toks[i].text, sf)
+                            annos = self._decl_annos(cls, name)
+                            special = is_dtor or name == cls.name
+                            m = Method(name, toks[j].line, annos,
+                                       (sf, body[0], body[1]), sf,
+                                       special)
+                            m_existing = cls.methods.get(name, [])
+                            # Prefer attaching the body to a body-less
+                            # declaration from the header.
+                            attached = False
+                            for em in m_existing:
+                                if em.body is None:
+                                    em.body = m.body
+                                    em.file = sf
+                                    attached = True
+                                    break
+                            if not attached:
+                                cls.add_method(m)
+                            i = body[1]
+                            continue
+                i += 1
+
+    def _find_body(self, toks, i, n):
+        """From just past the param ')': find `{body}` or give up."""
+        depth = 0
+        while i < n:
+            t = toks[i]
+            if t.kind == "p":
+                if t.text in "([":
+                    depth += 1
+                elif t.text in ")]":
+                    depth -= 1
+                elif depth == 0 and t.text == ";":
+                    return None
+                elif depth == 0 and t.text == "{":
+                    return (i + 1, _match(toks, i, "{", "}") - 1)
+            i += 1
+        return None
+
+    def _pick_class(self, name, sf):
+        cands = self.classes[name]
+        for c in cands:
+            if c.file is sf:
+                return c
+        return cands[0]
+
+    def _decl_annos(self, cls, name):
+        annos = []
+        for m in cls.methods.get(name, []):
+            annos.extend(m.annos)
+        return annos
+
+
+# ----------------------------------------------------------------------
+# Body walker: lock scopes, calls, blocking sites, returns
+# ----------------------------------------------------------------------
+
+BLOCKING_CALLS = {
+    "sleep_for": "sleeping under a lock stalls every thread contending it",
+    "sleep_until": "sleeping under a lock stalls contenders",
+    "usleep": "sleeping under a lock stalls contenders",
+    "nanosleep": "sleeping under a lock stalls contenders",
+    "send": "socket send can block indefinitely",
+    "recv": "socket recv can block indefinitely",
+    "sendto": "socket send can block indefinitely",
+    "recvfrom": "socket recv can block indefinitely",
+    "accept": "accept blocks until a connection arrives",
+    "connect": "connect blocks for the TCP handshake",
+    "poll": "poll blocks",
+    "select": "select blocks",
+    "SendAll": "socket send can block indefinitely",
+    "RecvAll": "socket recv can block indefinitely",
+    "WriteAll": "socket write can block indefinitely",
+    "ReadAll": "socket read can block indefinitely",
+    "TcpCall": "a full HTTP exchange under a lock serializes the server",
+    "Execute": "a peer RPC under a lock serializes the server on the "
+               "remote's latency",
+    "fopen": "file I/O under a lock",
+    "freopen": "file I/O under a lock",
+    "fread": "file I/O under a lock",
+    "fwrite": "file I/O under a lock",
+    "fputs": "file I/O under a lock",
+    "fputc": "file I/O under a lock",
+    "fprintf": "file I/O under a lock",
+    "fflush": "file I/O under a lock",
+    "fsync": "file I/O under a lock",
+    "fdatasync": "file I/O under a lock",
+    "ifstream": "file I/O under a lock",
+    "ofstream": "file I/O under a lock",
+    "fstream": "file I/O under a lock",
+    "system": "subprocess under a lock",
+}
+
+
+class BodyInfo:
+    def __init__(self):
+        self.acquired = []      # [(expr, line, active_exprs_at_acquire)]
+        self.calls = []         # [(receiver|None, name, line, actives)]
+        self.blocking = []      # [(name, line, why, actives)]
+        self.waits = []         # [(arg_expr, line, actives)]
+        self.returns = []       # [(expr_string, line, block_start_index)]
+        self.guard_refs = {}    # field name -> first line referenced
+        self.emit_spans = []    # token indices of RecordDecision/Emit
+
+
+def _is_lambda_open(toks, i, start):
+    """Is the '{' at i the body of a lambda expression?"""
+    if i <= start:
+        return False
+    prev = toks[i - 1]
+    if prev.kind != "p":
+        return False
+    if prev.text == "]":
+        return True
+    if prev.text == ")":
+        depth = 0
+        j = i - 1
+        while j >= start:
+            if toks[j].kind == "p":
+                if toks[j].text == ")":
+                    depth += 1
+                elif toks[j].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        return j - 1 >= start \
+                            and toks[j - 1].text == "]"
+            j -= 1
+    return False
+
+
+def walk_body(sf, start, end, entry_locks, guarded_names):
+    """Single pass over a method body.
+
+    Lambda bodies run deferred: locks held where the lambda is *built*
+    are not held where it *runs*, so inside a lambda the active-lock set
+    resets to empty and `return` statements are not method returns.
+    """
+    toks = sf.tokens
+    info = BodyInfo()
+    # Stack of (brace_index, [locks opened here], saved_actives|None).
+    blocks = [(start - 1, [], None)]
+    active = list(entry_locks)  # exprs
+    lambda_depth = 0
+    i = start
+    while i < end:
+        t = toks[i]
+        if t.kind == "p":
+            if t.text == "{":
+                if _is_lambda_open(toks, i, start):
+                    blocks.append((i, [], list(active)))
+                    lambda_depth += 1
+                    active = []
+                else:
+                    blocks.append((i, [], None))
+            elif t.text == "}":
+                if len(blocks) > 1:
+                    _, opened, saved = blocks.pop()
+                    if saved is not None:
+                        active = saved
+                        lambda_depth -= 1
+                    else:
+                        for expr in opened:
+                            if expr in active:
+                                active.remove(expr)
+            i += 1
+            continue
+        if t.kind != "id":
+            i += 1
+            continue
+        name = t.text
+        nxt = toks[i + 1] if i + 1 < end else None
+        prev = toks[i - 1] if i > start else None
+
+        if name in RAII_LOCKS and nxt is not None and nxt.kind == "id" \
+                and i + 2 < end and toks[i + 2].text == "(":
+            close = _match(toks, i + 2, "(", ")")
+            expr = _norm_expr(
+                "".join(x.text for x in toks[i + 3:close - 1]))
+            info.acquired.append((expr, t.line, list(active)))
+            active.append(expr)
+            blocks[-1][1].append(expr)
+            i = close
+            continue
+
+        if name == "Wait" and prev is not None and prev.kind == "p" \
+                and prev.text in (".", "->") and nxt is not None \
+                and nxt.text == "(":
+            close = _match(toks, i + 1, "(", ")")
+            arg = _norm_expr(
+                "".join(x.text for x in toks[i + 2:close - 1]))
+            info.waits.append((arg, t.line, list(active)))
+            i = close
+            continue
+
+        if name == "return":
+            j = i + 1
+            depth = 0
+            expr_toks = []
+            while j < end:
+                tj = toks[j]
+                if tj.kind == "p":
+                    if tj.text in "([{":
+                        depth += 1
+                    elif tj.text in ")]}":
+                        depth -= 1
+                    elif tj.text == ";" and depth == 0:
+                        break
+                expr_toks.append(tj)
+                j += 1
+            if lambda_depth == 0:
+                info.returns.append(
+                    ("".join(x.text for x in expr_toks), t.line,
+                     blocks[-1][0]))
+            i = j + 1
+            continue
+
+        if nxt is not None and nxt.kind == "p" and nxt.text == "(":
+            if name in ("RecordDecision", "Emit"):
+                info.emit_spans.append(i)
+            if name in BLOCKING_CALLS and name != "Wait":
+                # Skip declarations like `std::ifstream in(path)` --
+                # the identifier itself is the marker either way.
+                info.blocking.append(
+                    (name, t.line, BLOCKING_CALLS[name], list(active)))
+            receiver = None
+            if prev is not None and prev.kind == "p" \
+                    and prev.text in (".", "->") and i - 2 >= start \
+                    and toks[i - 2].kind == "id":
+                receiver = toks[i - 2].text
+            info.calls.append((receiver, name, t.line, list(active)))
+            i += 1
+            continue
+
+        if name in guarded_names and not (
+                prev is not None and prev.kind == "p"
+                and prev.text in (".", "->")
+                and not (i - 2 >= start and toks[i - 2].text == "this")):
+            info.guard_refs.setdefault(name, t.line)
+        i += 1
+    return info
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+STD_BANNED = {
+    "mutex": "dcws::Mutex",
+    "timed_mutex": "dcws::Mutex",
+    "recursive_mutex": "dcws::Mutex (and remove the recursion)",
+    "recursive_timed_mutex": "dcws::Mutex (and remove the recursion)",
+    "shared_mutex": "dcws::SharedMutex",
+    "shared_timed_mutex": "dcws::SharedMutex",
+    "lock_guard": "dcws::MutexLock",
+    "unique_lock": "dcws::MutexLock",
+    "scoped_lock": "dcws::MutexLock (one per mutex, ordered)",
+    "shared_lock": "dcws::ReaderMutexLock",
+    "condition_variable": "dcws::CondVar",
+    "condition_variable_any": "dcws::CondVar",
+}
+
+MUTEX_HEADER_SUFFIX = os.path.join("src", "util", "mutex.h")
+
+
+def check_naked_mutex(project):
+    for sf in project.files:
+        if sf.path.endswith(MUTEX_HEADER_SUFFIX):
+            continue
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text in STD_BANNED \
+                    and i >= 1 and toks[i - 1].text == "::" \
+                    and i >= 2 and toks[i - 2].text == "std":
+                project.report(
+                    sf, t.line, "naked-mutex",
+                    f"std::{t.text} is banned outside src/util/mutex.h; "
+                    "the clang thread-safety analysis cannot see through "
+                    "it",
+                    f"use {STD_BANNED[t.text]} from src/util/mutex.h and "
+                    "annotate guarded fields with DCWS_GUARDED_BY")
+
+
+def _entry_locks(annos):
+    locks = []
+    nts = False
+    for macro, args in annos:
+        if macro in HOLD_MACROS:
+            locks.extend(args)
+        if macro == "DCWS_NO_THREAD_SAFETY_ANALYSIS":
+            nts = True
+    return locks, nts
+
+
+def check_guarded_by(project):
+    for cands in project.classes.values():
+        for cls in cands:
+            caps = cls.capability_fields
+            if not caps:
+                continue
+            guarded = {f.name: f.guard for f in cls.fields if f.guard}
+            # (a) field completeness
+            for f in cls.fields:
+                if f.guard or f.is_const or f.is_static or f.is_atomic \
+                        or f.is_capability or f.is_condvar \
+                        or f.const_after_init:
+                    continue
+                if any(t in project.synced for t in f.type_tokens):
+                    continue
+                mu = caps[0].name
+                project.report(
+                    cls.file, f.line, "guarded-by",
+                    f"{cls.name}::{f.name} is a mutable field of a "
+                    "mutex-owning class but is not DCWS_GUARDED_BY any "
+                    "of its mutexes",
+                    f"annotate DCWS_GUARDED_BY({mu}), make it const/"
+                    "std::atomic, or mark it DCWS_CONST_AFTER_INIT if "
+                    "it is set once before threads start")
+            # (b) methods touching guarded state must hold the guard
+            if not guarded:
+                continue
+            for name, methods in cls.methods.items():
+                for m in methods:
+                    if m.body is None or m.is_special:
+                        continue
+                    locks, nts = _entry_locks(m.annos)
+                    if nts:
+                        continue
+                    sf, b0, b1 = m.body
+                    info = walk_body(sf, b0, b1, locks,
+                                     set(guarded.keys()))
+                    held = {_norm_expr(x) for x in locks}
+                    held |= {expr for expr, _, _ in info.acquired}
+                    for fname, line in sorted(info.guard_refs.items()):
+                        need = _norm_expr(guarded[fname])
+                        if need in held:
+                            continue
+                        project.report(
+                            sf, line, "guarded-by",
+                            f"{cls.name}::{name} touches '{fname}' "
+                            f"(guarded by {need}) without holding "
+                            f"{need}",
+                            f"take MutexLock lock({need}); or annotate "
+                            f"the method DCWS_REQUIRES({need})")
+
+
+def check_blocking_under_lock(project):
+    for cands in project.classes.values():
+        for cls in cands:
+            for name, methods in cls.methods.items():
+                for m in methods:
+                    if m.body is None:
+                        continue
+                    locks, nts = _entry_locks(m.annos)
+                    sf, b0, b1 = m.body
+                    info = walk_body(sf, b0, b1, locks, set())
+                    for bname, line, why, actives in info.blocking:
+                        if not actives:
+                            continue
+                        project.report(
+                            sf, line, "blocking-under-lock",
+                            f"{cls.name}::{name} calls {bname}() while "
+                            f"holding {', '.join(sorted(set(actives)))} "
+                            f"({why})",
+                            "move the blocking call outside the lock "
+                            "scope, or copy the state out first")
+                    for arg, line, actives in info.waits:
+                        others = sorted(
+                            {a for a in actives if a != arg})
+                        if others:
+                            project.report(
+                                sf, line, "blocking-under-lock",
+                                f"{cls.name}::{name} waits on a condition "
+                                f"variable with {', '.join(others)} still "
+                                "held (Wait only releases its own mutex)",
+                                "drop the outer lock before waiting")
+
+
+# -- lock-order graph ---------------------------------------------------
+
+
+def _mutex_node(cls, expr):
+    owner = cls.name if cls else "<free>"
+    return f"{owner}::{expr}"
+
+
+def build_lock_graph(project):
+    """Returns (edges: {(a,b): site}, method_acquires fixpoint)."""
+    # Method-level facts.
+    facts = {}  # (clsname, methodname) -> dict
+    for cands in project.classes.items():
+        pass
+    for cname, cands in project.classes.items():
+        for cls in cands:
+            for mname, methods in cls.methods.items():
+                for m in methods:
+                    if m.body is None:
+                        continue
+                    locks, _ = _entry_locks(m.annos)
+                    sf, b0, b1 = m.body
+                    info = walk_body(sf, b0, b1, locks, set())
+                    key = (cls.name, mname)
+                    f = facts.setdefault(
+                        key, {"acquires": set(), "calls": [],
+                              "cls": cls, "sites": {}})
+                    for expr, line, _ in info.acquired:
+                        node = _mutex_node(cls, expr)
+                        f["acquires"].add(node)
+                        f["sites"][node] = f"{sf.display}:{line}"
+                    f["calls"].extend(
+                        (recv, callee, f"{sf.display}:{line}")
+                        for recv, callee, line, _ in info.calls)
+
+    def resolve(cls, recv, callee):
+        """Best-effort callee resolution -> (class, method) key."""
+        if recv is not None:
+            fld = cls.field(recv) if cls else None
+            if fld is not None:
+                for tname in fld.type_tokens:
+                    if tname in project.classes \
+                            and (tname, callee) in facts:
+                        return (tname, callee)
+            return None
+        # Same-class call.
+        if cls and (cls.name, callee) in facts:
+            return (cls.name, callee)
+        # Unique project-wide name.
+        hits = [k for k in facts if k[1] == callee]
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    # Transitive acquire sets.
+    closure = {k: set(v["acquires"]) for k, v in facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, f in facts.items():
+            for recv, callee, _ in f["calls"]:
+                tgt = resolve(f["cls"], recv, callee)
+                if tgt and not closure[tgt] <= closure[key]:
+                    closure[key] |= closure[tgt]
+                    changed = True
+
+    # Edges: held lock -> subsequently acquired lock.
+    edges = {}
+    for cands in project.classes.values():
+        for cls in cands:
+            for mname, methods in cls.methods.items():
+                for m in methods:
+                    if m.body is None:
+                        continue
+                    locks, _ = _entry_locks(m.annos)
+                    sf, b0, b1 = m.body
+                    info = walk_body(sf, b0, b1, locks, set())
+                    for expr, line, actives in info.acquired:
+                        node = _mutex_node(cls, expr)
+                        for held in set(actives):
+                            a = _mutex_node(cls, held)
+                            if a != node:
+                                edges.setdefault(
+                                    (a, node),
+                                    f"{sf.display}:{line}")
+                    for recv, callee, line, actives in info.calls:
+                        if not actives:
+                            continue
+                        tgt = resolve(cls, recv, callee)
+                        if not tgt:
+                            continue
+                        for node in sorted(closure[tgt]):
+                            for held in set(actives):
+                                a = _mutex_node(cls, held)
+                                if a != node:
+                                    edges.setdefault(
+                                        (a, node),
+                                        f"{sf.display}:{line}")
+    return edges
+
+
+def find_cycles(edges):
+    """Tarjan SCC; returns list of cycles (each a list of nodes)."""
+    graph = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    index = {}
+    low = {}
+    stack = []
+    on_stack = set()
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = graph[node]
+            while pi < len(succs):
+                w = succs[pi]
+                pi += 1
+                if w not in index:
+                    work[-1] = (node, pi)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in graph.get(node, []):
+                    sccs.append(sorted(scc))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs
+
+
+def check_lock_order(project, dot_path=None):
+    edges = build_lock_graph(project)
+    cycles = find_cycles(edges)
+    cycle_nodes = set()
+    for scc in cycles:
+        cycle_nodes.update(scc)
+        first_site = min(
+            (site for (a, b), site in edges.items()
+             if a in scc and b in scc),
+            default="?")
+        sf = project.files[0] if project.files else None
+        path, _, line = first_site.rpartition(":")
+        target = next((f for f in project.files if f.display == path),
+                      sf)
+        project.report(
+            target, int(line) if line.isdigit() else 0, "lock-order",
+            "lock-order cycle: " + " -> ".join(scc + [scc[0]]),
+            "impose a single acquisition order (or drop to one lock); "
+            "see tools/dcws_lockgraph.dot for the full graph")
+    if dot_path:
+        write_dot(dot_path, edges, cycle_nodes)
+    return edges, cycles
+
+
+def write_dot(path, edges, cycle_nodes):
+    nodes = sorted({n for e in edges for n in e})
+    lines = [
+        "// Static lock-acquisition graph.",
+        "// Generated by tools/dcws_lint.py --dot; regenerate with:",
+        "//   python3 tools/dcws_lint.py --dot tools/dcws_lockgraph.dot",
+        "// An edge A -> B means B is acquired while A is held",
+        "// (directly, or through a call chain).  Cycles are red.",
+        "digraph dcws_locks {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    for n in nodes:
+        attr = ", color=red" if n in cycle_nodes else ""
+        lines.append(f"  \"{n}\" [label=\"{n}\"{attr}];")
+    for (a, b) in sorted(edges):
+        site = edges[(a, b)]
+        red = ", color=red" if a in cycle_nodes and b in cycle_nodes \
+            else ""
+        lines.append(
+            f"  \"{a}\" -> \"{b}\" [label=\"{site}\", fontsize=9{red}];")
+    lines.append("}")
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+# -- event/metric schema ------------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"dcws_[a-z0-9_]+\Z")
+METRIC_CALLS = {"GetCounter", "GetGauge", "GetHistogram",
+                "AddCallbackGauge"}
+NEGATIVE_RETURNS = {"", "{}", "std::nullopt", "nullopt"}
+
+
+def check_event_schema(project):
+    # (a) metric naming.
+    for sf in project.files:
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text in METRIC_CALLS \
+                    and i + 2 < len(toks) and toks[i + 1].text == "(" \
+                    and toks[i + 2].kind == "str":
+                name = toks[i + 2].text
+                if not METRIC_NAME_RE.fullmatch(name):
+                    project.report(
+                        sf, toks[i + 2].line, "event-schema",
+                        f"metric name \"{name}\" does not match the "
+                        "dcws_[a-z0-9_]+ schema",
+                        "metric families are snake_case with a dcws_ "
+                        "prefix; variants go in labels, not the name")
+    # (b) Decide outcome paths must emit a journal event.
+    for cname, cands in project.classes.items():
+        if not cname.endswith("Policy"):
+            continue
+        for cls in cands:
+            for m in cls.methods.get("Decide", []):
+                if m.body is None:
+                    continue
+                sf, b0, b1 = m.body
+                info = walk_body(sf, b0, b1, [], set())
+                for expr, line, block_start in info.returns:
+                    norm = expr.replace(" ", "")
+                    if norm in NEGATIVE_RETURNS:
+                        continue
+                    if "Decide(" in norm:
+                        continue  # delegating overload
+                    # An emit call in the same block, before the return.
+                    toks = sf.tokens
+                    emitted = any(
+                        block_start < idx
+                        and toks[idx].line <= line
+                        for idx in info.emit_spans)
+                    if not emitted:
+                        project.report(
+                            sf, line, "event-schema",
+                            f"{cls.name}::Decide returns a positive "
+                            "decision without emitting a journal event "
+                            "on this path",
+                            "call RecordDecision(...) (which emits "
+                            "kMigrationDecided) before returning the "
+                            "decision")
+
+
+# ----------------------------------------------------------------------
+# Suppressions + driver
+# ----------------------------------------------------------------------
+
+def apply_suppressions(project):
+    kept = []
+    for f in project.findings:
+        sf = f.pop("_sf")
+        sup = sf.suppressions.get(f["line"])
+        if sup is not None and f["check"] in sup.checks:
+            sup.used = True
+            continue
+        prev = sf.suppressions.get(f["line"] - 1)
+        if prev is not None and prev.standalone \
+                and f["check"] in prev.checks:
+            prev.used = True
+            continue
+        kept.append(f)
+    project.findings = kept
+    for sf in project.files:
+        for sup in sf.suppressions.values():
+            for check in sup.checks:
+                if check not in CHECKS:
+                    project.findings.append(
+                        {"file": sf.display, "line": sup.line,
+                         "check": "unused-suppression",
+                         "message": f"allow({check}) names an unknown "
+                                    f"check",
+                         "hint": "known checks: " + ", ".join(CHECKS)})
+            if not sup.used and all(c in CHECKS for c in sup.checks):
+                project.findings.append(
+                    {"file": sf.display, "line": sup.line,
+                     "check": "unused-suppression",
+                     "message": "suppression matches no finding: allow("
+                                + ", ".join(sup.checks) + ")",
+                     "hint": "delete the stale dcws-lint comment"})
+
+
+def collect_files(repo, roots, compile_commands, explicit):
+    if explicit:
+        return [(p, p) for p in explicit]
+    compiled = None
+    if compile_commands:
+        with open(compile_commands) as f:
+            compiled = {os.path.realpath(e["file"])
+                        for e in json.load(f)}
+    out = []
+    for root in roots:
+        base = os.path.join(repo, root)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                if compiled is not None and name.endswith(".cc") \
+                        and os.path.realpath(path) not in compiled:
+                    continue
+                out.append((path, os.path.relpath(path, repo)))
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="dcws_lint.py",
+        description="DCWS project-invariant static analysis")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files (default: walk --root dirs)")
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--root", action="append", default=None,
+                        help="directory to walk, relative to --repo "
+                             "(default: src, tools)")
+    parser.add_argument("-p", "--compile-commands", default=None,
+                        help="compile_commands.json; restricts .cc files "
+                             "to compiled translation units")
+    parser.add_argument("--dot", default=None,
+                        help="write the lock-acquisition graph here")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    parser.add_argument("--no-summary", action="store_true")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    roots = args.root or ["src", "tools"]
+    files = collect_files(repo, roots, args.compile_commands, args.files)
+    if not files:
+        print("dcws_lint: no input files", file=sys.stderr)
+        return 2
+
+    project = Project()
+    for path, display in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"dcws_lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        project.add_file(SourceFile(path, display, text))
+    project.attach_out_of_line()
+    project.finalize_synced()
+
+    check_naked_mutex(project)
+    check_guarded_by(project)
+    check_blocking_under_lock(project)
+    check_lock_order(project, dot_path=args.dot)
+    check_event_schema(project)
+    apply_suppressions(project)
+
+    findings = sorted(project.findings,
+                      key=lambda f: (f["file"], f["line"], f["check"],
+                                     f["message"]))
+    if args.json:
+        print(json.dumps(findings, indent=2))
+    else:
+        for f in findings:
+            line = f"{f['file']}:{f['line']}: [{f['check']}] " \
+                   f"{f['message']}"
+            if f["hint"]:
+                line += f" (hint: {f['hint']})"
+            print(line)
+    if not args.no_summary:
+        print(f"dcws_lint: {len(findings)} finding(s) across "
+              f"{len(files)} file(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
