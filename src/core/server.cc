@@ -9,7 +9,9 @@
 #include "src/html/rewriter.h"
 #include "src/http/url.h"
 #include "src/load/piggyback.h"
+#include "src/obs/attribution.h"
 #include "src/obs/export.h"
+#include "src/obs/profiler.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -23,6 +25,16 @@ constexpr std::string_view kRevokePrefix = "/~revoke/";
 constexpr std::string_view kDcwsStatusTarget = "/.dcws/status";
 constexpr std::string_view kDcwsTracesTarget = "/.dcws/traces";
 constexpr std::string_view kDcwsEventsTarget = "/.dcws/events";
+constexpr std::string_view kDcwsHistoryTarget = "/.dcws/history";
+constexpr std::string_view kDcwsProfileTarget = "/.dcws/profile";
+
+http::Response MakeBadRequestResponse(std::string reason) {
+  http::Response r;
+  r.status_code = 400;
+  r.body = std::move(reason);
+  r.headers.Set(std::string(http::kHeaderContentType), "text/plain");
+  return r;
+}
 
 // Value of `key` in a raw query string ("format=json&x=1"), or "".
 std::string QueryParam(std::string_view query, std::string_view key) {
@@ -88,7 +100,8 @@ Server::Server(http::ServerAddress self, ServerParams params,
       recent_traces_(static_cast<size_t>(params.trace_ring_capacity)),
       slow_traces_(static_cast<size_t>(params.trace_ring_capacity)),
       journal_(self_.ToString(), clock,
-               static_cast<size_t>(params.event_journal_capacity)) {
+               static_cast<size_t>(params.event_journal_capacity)),
+      history_(static_cast<size_t>(params.history_ring_capacity)) {
   glt_.RegisterPeer(self_);  // before set_journal: no self PeerUp event
   glt_.set_journal(&journal_);
   pinger_.set_journal(&journal_);
@@ -136,6 +149,21 @@ void Server::InitMetrics() {
   hist_html_parse_ = registry_.GetHistogram("dcws_html_parse_us");
   hist_html_reconstruct_ =
       registry_.GetHistogram("dcws_html_reconstruct_us");
+  hist_net_write_ = registry_.GetHistogram("dcws_net_write_us");
+
+  // Per-phase latency attribution (obs::AttributeTrace): every phase a
+  // request can spend time in, pre-registered so a fresh scrape lists
+  // the whole family and the fold never takes the registry lock.
+  static constexpr const char* kPhases[] = {
+      "queue_wait", "parse",           "local",
+      "migrated",   "revoke",          "ldg_lookup",
+      "rewrite",    "render_transfer", "coop_fetch",
+      "other",
+  };
+  for (const char* phase : kPhases) {
+    hist_phases_[phase] =
+        registry_.GetHistogram("dcws_phase_latency_us", {{"phase", phase}});
+  }
 
   // Table sizes and load read live at scrape time; the callbacks run on
   // the exporting thread against internally-synchronized structures.
@@ -282,7 +310,9 @@ http::Response Server::HandleRequest(const http::Request& request,
   bool admin = target == kPingTarget || target == kStatusTarget ||
                target == kDcwsStatusTarget ||
                target == kDcwsTracesTarget ||
-               target == kDcwsEventsTarget;
+               target == kDcwsEventsTarget ||
+               target == kDcwsHistoryTarget ||
+               target == kDcwsProfileTarget;
 
   http::Response response;
   if (target == kPingTarget) {
@@ -295,6 +325,10 @@ http::Response Server::HandleRequest(const http::Request& request,
     response = HandleDcwsTraces(query);
   } else if (target == kDcwsEventsTarget) {
     response = HandleDcwsEvents(query);
+  } else if (target == kDcwsHistoryTarget) {
+    response = HandleDcwsHistory(query);
+  } else if (target == kDcwsProfileTarget) {
+    response = HandleDcwsProfile(query);
   } else if (StartsWith(target, kRevokePrefix)) {
     obs::ScopedSpan span(&builder, clock_, "revoke");
     response = HandleRevoke(target);
@@ -350,12 +384,20 @@ http::Response Server::HandleRequest(const http::Request& request,
     uint64_t latency = static_cast<uint64_t>(end - root_start);
     (internal ? hist_latency_internal_ : hist_latency_client_)
         ->Observe(latency);
+    // Per-phase attribution observes the same requests the end-to-end
+    // histograms do, so the family's sums add up to theirs.
+    ObservePhases(done);
     if (end - root_start >= params_.slow_trace_threshold) {
       slow_traces_.Add(done);
     }
     recent_traces_.Add(std::move(done));
   }
   return response;
+}
+
+void Server::ObserveNetWrite(MicroTime micros) {
+  if (micros < 0) return;
+  hist_net_write_->Observe(static_cast<uint64_t>(micros));
 }
 
 void Server::CountQueueDrop(const http::Request* request) {
@@ -452,6 +494,13 @@ http::Response Server::HandleDcwsTraces(const std::string& query) {
   for (const obs::Trace& trace : slow) {
     out += obs::FormatTraceText(trace);
   }
+  if (!slow.empty()) {
+    // Aggregate critical path over the slow ring: which phase the tail
+    // actually spends its time in.
+    out += "slow-trace phase breakdown (" + std::to_string(slow.size()) +
+           " traces):\n";
+    out += obs::FormatPhaseBreakdown(slow);
+  }
   return http::MakeOkResponse(std::move(out), "text/plain");
 }
 
@@ -459,8 +508,18 @@ http::Response Server::HandleDcwsEvents(const std::string& query) {
   std::string format = QueryParam(query, "format");
   uint64_t since = 0;
   if (std::string s = QueryParam(query, "since"); !s.empty()) {
-    since = std::strtoull(s.c_str(), nullptr, 10);
+    // Strict cursor parse: a malformed cursor must not degrade into
+    // since=0 (a full replay) for the poller that sent it.
+    std::optional<uint64_t> parsed = ParseUint64(s);
+    if (!parsed.has_value()) {
+      return MakeBadRequestResponse(
+          "since must be a non-negative integer sequence number\n");
+    }
+    since = *parsed;
   }
+  // A cursor past the last emitted event (e.g. the server restarted and
+  // its journal reset) yields an empty set under the current envelope —
+  // the poller sees last_seq < its cursor and can resynchronize.
   std::vector<obs::Event> events = journal_.Snapshot(since);
   if (format == "json") {
     return http::MakeOkResponse(
@@ -478,6 +537,73 @@ http::Response Server::HandleDcwsEvents(const std::string& query) {
     out += obs::FormatEventText(event);
   }
   return http::MakeOkResponse(std::move(out), "text/plain");
+}
+
+http::Response Server::HandleDcwsHistory(const std::string& query) {
+  std::string format = QueryParam(query, "format");
+  std::string metric = QueryParam(query, "metric");
+  MicroTime since = 0;
+  if (std::string w = QueryParam(query, "window"); !w.empty()) {
+    std::optional<uint64_t> seconds = ParseUint64(w);
+    if (!seconds.has_value()) {
+      return MakeBadRequestResponse(
+          "window must be a non-negative integer (seconds)\n");
+    }
+    since = clock_->Now() - Seconds(static_cast<double>(*seconds));
+    if (since < 0) since = 0;
+  }
+  std::vector<obs::HistorySeries> series =
+      history_.Snapshot(metric, since);
+  if (format == "json") {
+    return http::MakeOkResponse(
+        obs::FormatHistoryJson(self_.ToString(), clock_->Now(), series),
+        "application/json");
+  }
+  std::string out = "history for " + self_.ToString() + " (" +
+                    std::to_string(series.size()) + " series, ring " +
+                    std::to_string(history_.capacity()) + "):\n";
+  out += obs::FormatHistoryText(series);
+  return http::MakeOkResponse(std::move(out), "text/plain");
+}
+
+http::Response Server::HandleDcwsProfile(const std::string& query) {
+  if (!obs::Profiler::Enabled()) {
+    http::Response r;
+    r.status_code = 503;
+    r.body = "profiler disabled; set DCWS_PROFILE=1 in the server's "
+             "environment\n";
+    r.headers.Set(std::string(http::kHeaderContentType), "text/plain");
+    return r;
+  }
+  double seconds = 1.0;
+  if (std::string s = QueryParam(query, "seconds"); !s.empty()) {
+    std::optional<uint64_t> parsed = ParseUint64(s);
+    if (!parsed.has_value()) {
+      return MakeBadRequestResponse(
+          "seconds must be a non-negative integer\n");
+    }
+    seconds = static_cast<double>(*parsed);
+  }
+  int hz = 0;
+  if (std::string s = QueryParam(query, "hz"); !s.empty()) {
+    std::optional<uint64_t> parsed = ParseUint64(s);
+    if (!parsed.has_value()) {
+      return MakeBadRequestResponse("hz must be a positive integer\n");
+    }
+    hz = static_cast<int>(*parsed);
+  }
+  // Blocks THIS worker for the capture window while the other workers
+  // keep serving (that load is exactly what gets sampled).
+  Result<std::string> folded =
+      obs::Profiler::Instance().Capture(seconds, hz);
+  if (!folded.ok()) {
+    http::Response r;
+    r.status_code = 503;
+    r.body = folded.status().message() + "\n";
+    r.headers.Set(std::string(http::kHeaderContentType), "text/plain");
+    return r;
+  }
+  return http::MakeOkResponse(std::move(folded).value(), "text/plain");
 }
 
 http::Response Server::HandleRevoke(const std::string& target) {
@@ -881,30 +1007,53 @@ void Server::SetPacing(MicroTime stats_interval,
 }
 
 void Server::Tick(PeerClient* peers) {
-  MutexLock duty_lock(duty_mutex_);
-  MicroTime now = clock_->Now();
-  if (last_stats_ < 0) {
-    // First tick: anchor all timers; duties start one interval later.
-    last_stats_ = now;
-    last_validation_ = now;
-    last_ping_ = now;
-    return;
+  // The history decision (pacing state) lives under duty_mutex_, but the
+  // sample itself runs after the lock is released: Registry::Snapshot
+  // evaluates callback gauges under the registry lock, and nothing that
+  // heavy belongs inside the duty lock.
+  bool history_due = false;
+  {
+    MutexLock duty_lock(duty_mutex_);
+    MicroTime now = clock_->Now();
+    if (last_stats_ < 0) {
+      // First tick: anchor all timers; duties start one interval later.
+      // History takes sample zero immediately, so a ring observed after
+      // one further interval already shows a trend.
+      last_stats_ = now;
+      last_validation_ = now;
+      last_ping_ = now;
+      if (params_.history_interval > 0) {
+        last_history_ = now;
+        history_due = true;
+      }
+    } else {
+      if (now - last_stats_ >= params_.stats_interval) {
+        last_stats_ = now;
+        RunStatistics(peers, now);
+      }
+      MicroTime validation_check =
+          std::max<MicroTime>(params_.validation_interval / 4,
+                              kMicrosPerSecond);
+      if (now - last_validation_ >= validation_check) {
+        last_validation_ = now;
+        RunValidationSweep(peers, now);
+      }
+      if (now - last_ping_ >= params_.pinger_interval) {
+        last_ping_ = now;
+        RunPinger(peers, now);
+      }
+      if (params_.history_interval > 0 &&
+          now - last_history_ >= params_.history_interval) {
+        last_history_ = now;
+        history_due = true;
+      }
+    }
   }
-  if (now - last_stats_ >= params_.stats_interval) {
-    last_stats_ = now;
-    RunStatistics(peers, now);
-  }
-  MicroTime validation_check =
-      std::max<MicroTime>(params_.validation_interval / 4,
-                          kMicrosPerSecond);
-  if (now - last_validation_ >= validation_check) {
-    last_validation_ = now;
-    RunValidationSweep(peers, now);
-  }
-  if (now - last_ping_ >= params_.pinger_interval) {
-    last_ping_ = now;
-    RunPinger(peers, now);
-  }
+  if (history_due) SampleHistoryNow();
+}
+
+void Server::SampleHistoryNow() {
+  history_.Sample(registry_.Snapshot(), clock_->Now());
 }
 
 void Server::RunStatistics(PeerClient* peers, MicroTime now) {
@@ -1121,6 +1270,18 @@ void Server::RunPinger(PeerClient* peers, MicroTime now) {
 void Server::CountConnection(uint64_t bytes) {
   MutexLock lock(window_mutex_);
   rate_window_.Record(clock_->Now(), bytes);
+}
+
+void Server::ObservePhases(const obs::Trace& trace) {
+  for (const obs::PhaseSlice& slice : obs::AttributeTrace(trace)) {
+    auto it = hist_phases_.find(slice.phase);
+    obs::Histogram* hist =
+        it != hist_phases_.end()
+            ? it->second
+            : registry_.GetHistogram("dcws_phase_latency_us",
+                                     {{"phase", slice.phase}});
+    hist->Observe(static_cast<uint64_t>(slice.micros));
+  }
 }
 
 double Server::LoadMetric() const {

@@ -2,6 +2,7 @@
 #define DCWS_CORE_SERVER_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,6 +21,7 @@
 #include "src/migrate/naming.h"
 #include "src/migrate/replication.h"
 #include "src/obs/events.h"
+#include "src/obs/history.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/document_store.h"
@@ -116,11 +118,25 @@ class Server {
   // X-DCWS-Trace id; TCP drops happen before parsing and pass nullptr.
   void CountQueueDrop(const http::Request* request = nullptr);
 
+  // Called by transports after writing a serialized response to the
+  // client socket (dcws_net_write_us).  Kept outside the request trace:
+  // the trace — and the phase attribution derived from it — closes when
+  // HandleRequest returns, so folding the write in would break the
+  // "phases sum to dcws_request_latency_us" invariant.
+  void ObserveNetWrite(MicroTime micros);
+
   // ---- periodic duties (statistics + pinger thread) ----
   // Runs any duties that have come due: statistics recalculation and
   // migration decisions every T_st, co-op validation sweeps, pinger
   // probes every T_pi.  Call at least once per second of (virtual) time.
+  // Also drives the metric-history sampler (every history_interval; the
+  // first tick takes sample zero).
   void Tick(PeerClient* peers);
+
+  // Appends one history sample per instrument right now, bypassing the
+  // tick pacing — experiment drivers sample on their epoch boundaries,
+  // tests force deterministic rings.  Thread-safe.
+  void SampleHistoryNow();
 
   // ---- content management (author actions) ----
   // Adds or replaces a document at runtime; link structure is refreshed
@@ -155,6 +171,9 @@ class Server {
   // Recent/slow completed request traces (GET /.dcws/traces).
   const obs::TraceRing& recent_traces() const { return recent_traces_; }
   const obs::TraceRing& slow_traces() const { return slow_traces_; }
+  // Periodic metric samples (GET /.dcws/history), fed by Tick and
+  // SampleHistoryNow (internally synchronized).
+  const obs::MetricHistory& history() const { return history_; }
   // Structured decision/event journal (GET /.dcws/events); tests and
   // tools may also Emit through it (it is internally synchronized).
   obs::EventJournal& journal() { return journal_; }
@@ -203,6 +222,11 @@ class Server {
   http::Response HandleDcwsStatus(const std::string& query);
   http::Response HandleDcwsTraces(const std::string& query);
   http::Response HandleDcwsEvents(const std::string& query);
+  http::Response HandleDcwsHistory(const std::string& query);
+  // Blocking profile capture (?seconds=N&hz=H): holds this worker for N
+  // wall seconds, then returns folded stacks.  503 unless DCWS_PROFILE
+  // is set (or while another capture runs).
+  http::Response HandleDcwsProfile(const std::string& query);
 
   // Regenerates a dirty document in place: rewrites hyperlinks whose
   // targets migrated (or gained replicas) to their current URLs, writes
@@ -263,6 +287,11 @@ class Server {
 
   void CountConnection(uint64_t bytes);
 
+  // Folds a completed trace's per-phase attribution into the
+  // dcws_phase_latency_us histogram family (handles pre-resolved by
+  // InitMetrics; unknown phase names fall back to the registry).
+  void ObservePhases(const obs::Trace& trace);
+
   // Creates every instrument handle up front (ctor) so a scrape of a
   // fresh server already lists the full schema at zero, and the hot path
   // only ever touches pre-resolved atomic handles.
@@ -298,6 +327,7 @@ class Server {
   MicroTime last_stats_ DCWS_GUARDED_BY(duty_mutex_) = -1;
   MicroTime last_validation_ DCWS_GUARDED_BY(duty_mutex_) = -1;
   MicroTime last_ping_ DCWS_GUARDED_BY(duty_mutex_) = -1;
+  MicroTime last_history_ DCWS_GUARDED_BY(duty_mutex_) = -1;
 
   mutable Mutex window_mutex_;
   metrics::RateWindow rate_window_ DCWS_GUARDED_BY(window_mutex_);
@@ -313,6 +343,11 @@ class Server {
   // set-once pointers to home_policy_/pinger_/glt_ so policy verdicts
   // are recorded at the point of decision.
   obs::EventJournal journal_;
+  // Periodic samples of every registry instrument (internally
+  // synchronized); Tick decides WHEN under duty_mutex_ (last_history_)
+  // but samples after releasing it, so registry callbacks never run
+  // under the duty lock.
+  obs::MetricHistory history_;
 
   obs::Counter* ctr_client_requests_ = nullptr;
   obs::Counter* ctr_served_local_ = nullptr;
@@ -334,8 +369,12 @@ class Server {
   obs::Counter* ctr_piggyback_absorbs_ = nullptr;
   obs::Histogram* hist_latency_client_ = nullptr;
   obs::Histogram* hist_latency_internal_ = nullptr;
+  obs::Histogram* hist_net_write_ = nullptr;
   obs::Histogram* hist_html_parse_ = nullptr;
   obs::Histogram* hist_html_reconstruct_ = nullptr;
+  // dcws_phase_latency_us{phase=...} handles, keyed by phase name and
+  // filled by InitMetrics (set-once; lock-free lookup in ObservePhases).
+  std::map<std::string, obs::Histogram*, std::less<>> hist_phases_;
 
   mutable Mutex log_mutex_;
   std::function<void(const std::string&)> access_log_

@@ -64,6 +64,12 @@ struct ServerParams {
   // overflow evicts oldest and is reported as
   // dcws_event_journal_dropped, never silent.
   int event_journal_capacity = 256;
+  // Metric-history sampler period (GET /.dcws/history): the duty tick
+  // appends one sample per instrument field every interval.  0 disables
+  // tick-driven sampling (drivers may still call SampleHistoryNow).
+  MicroTime history_interval = 1 * kMicrosPerSecond;
+  // Samples kept per history series; older samples fall off the ring.
+  int history_ring_capacity = 128;
 };
 
 // Prints the Table-1 block in the paper's format (used by bench headers).

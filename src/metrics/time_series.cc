@@ -31,6 +31,18 @@ double TimeSeries::TailMean(double fraction) const {
   return sum / static_cast<double>(n);
 }
 
+std::vector<Sample> SampleRing::Snapshot(MicroTime since) const {
+  std::vector<Sample> out;
+  out.reserve(samples_.size());
+  // Once wrapped, the oldest sample sits at the next overwrite slot.
+  size_t start = samples_.size() < capacity_ ? 0 : total_ % capacity_;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[(start + i) % samples_.size()];
+    if (s.at >= since) out.push_back(s);
+  }
+  return out;
+}
+
 namespace {
 
 double Percentile(const std::vector<double>& sorted, double p) {

@@ -2,6 +2,7 @@
 #define DCWS_METRICS_TIME_SERIES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,47 @@ class TimeSeries {
   MicroTime interval_;
   std::vector<MicroTime> times_;
   std::vector<double> values_;
+};
+
+// One periodic sample of a metric field.
+struct Sample {
+  MicroTime at = 0;
+  double value = 0;
+};
+
+// A bounded ring of periodic (time, value) samples: the storage behind
+// the /.dcws/history endpoint.  Appends past `capacity` overwrite the
+// oldest sample; `total_appended` keeps counting so callers can tell a
+// wrapped ring from a short one.  NOT thread-safe — owners (one
+// obs::MetricHistory per server) synchronize externally.
+class SampleRing {
+ public:
+  explicit SampleRing(size_t capacity) : capacity_(capacity) {
+    samples_.reserve(capacity_);
+  }
+
+  void Append(MicroTime t, double value) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(Sample{t, value});
+    } else {
+      samples_[total_ % capacity_] = Sample{t, value};
+    }
+    ++total_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  uint64_t total_appended() const { return total_; }
+
+  // Samples oldest-first.  `since` 0 returns everything; otherwise only
+  // samples with `at >= since` (a trailing-window cut).
+  std::vector<Sample> Snapshot(MicroTime since = 0) const;
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Sample> samples_;  // ring once size() == capacity_
 };
 
 // Aggregate statistics over a batch of scalar observations.

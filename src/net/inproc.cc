@@ -61,6 +61,9 @@ void InprocServerHost::StopThreads() {
     queue_.clear();
     running_ = false;
   }
+  // Workers and duties are quiesced, so no more Emits: settle the JSONL
+  // mirror before Stop/Drain returns (artifact collectors read it next).
+  server_->journal().Flush();
 }
 
 Result<http::Response> InprocServerHost::Call(

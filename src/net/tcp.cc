@@ -57,6 +57,9 @@ void TcpServerHost::Stop() {
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   if (duty_thread_.joinable()) duty_thread_.join();
+  // Workers and duties are quiesced, so no more Emits: settle the JSONL
+  // mirror before Stop returns (artifact collectors read it next).
+  server_->journal().Flush();
   MutexLock lock(mutex_);
   pending_.clear();  // RAII closes any queued connections
 }
@@ -151,7 +154,9 @@ void TcpServerHost::ServeConnection(Socket conn, MicroTime accepted_at) {
   if (parsed > read_start) trace.parse_micros = parsed - read_start;
   http::Response response =
       server_->HandleRequest(*request, network_, &trace);
+  MicroTime write_start = server_->clock()->Now();
   (void)WriteAll(conn, response.Serialize());
+  server_->ObserveNetWrite(server_->clock()->Now() - write_start);
 }
 
 void TcpServerHost::DutyLoop() {

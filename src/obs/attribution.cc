@@ -1,0 +1,116 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace dcws::obs {
+
+namespace {
+
+// The transport records the socket-queue span under the span name
+// "accept_wait"; the metric family calls the phase "queue_wait".
+std::string_view PhaseName(const std::string& span_name) {
+  // No ternary: mixed const char* / const std::string& operands would
+  // materialize a temporary string and the returned view would dangle.
+  if (span_name == "accept_wait") return "queue_wait";
+  return span_name;
+}
+
+void Accumulate(std::vector<PhaseSlice>& slices, std::string_view phase,
+                MicroTime micros) {
+  if (micros <= 0) return;
+  for (PhaseSlice& slice : slices) {
+    if (slice.phase == phase) {
+      slice.micros += micros;
+      return;
+    }
+  }
+  slices.push_back(PhaseSlice{std::string(phase), micros});
+}
+
+}  // namespace
+
+std::vector<PhaseSlice> AttributeTrace(const Trace& trace) {
+  const std::vector<Span>& spans = trace.spans;
+  std::vector<PhaseSlice> slices;
+  MicroTime top_level = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    MicroTime self = spans[i].end - spans[i].start;
+    // Subtract direct children: spans that follow while nested deeper,
+    // at exactly depth+1 (grandchildren are already inside children).
+    for (size_t j = i + 1;
+         j < spans.size() && spans[j].depth > spans[i].depth; ++j) {
+      if (spans[j].depth == spans[i].depth + 1) {
+        self -= spans[j].end - spans[j].start;
+      }
+    }
+    Accumulate(slices, PhaseName(spans[i].name), self);
+    if (spans[i].depth == 1) top_level += spans[i].end - spans[i].start;
+  }
+  // Handler time covered by no span (response post-processing, the gaps
+  // between top-level spans) is attributed, not dropped — this is what
+  // makes the slices sum to the trace duration.
+  Accumulate(slices, "other", trace.DurationMicros() - top_level);
+  return slices;
+}
+
+std::string FormatAttribution(const std::vector<PhaseSlice>& slices,
+                              MicroTime total) {
+  if (total <= 0) {
+    total = 0;
+    for (const PhaseSlice& slice : slices) total += slice.micros;
+  }
+  std::vector<PhaseSlice> sorted = slices;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PhaseSlice& a, const PhaseSlice& b) {
+                     return a.micros > b.micros;
+                   });
+  std::string out;
+  for (const PhaseSlice& slice : sorted) {
+    if (!out.empty()) out += ", ";
+    double share = total > 0 ? 100.0 * static_cast<double>(slice.micros) /
+                                   static_cast<double>(total)
+                             : 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %lldus %.1f%%",
+                  static_cast<long long>(slice.micros), share);
+    out += slice.phase + buf;
+  }
+  return out;
+}
+
+std::string FormatPhaseBreakdown(const std::vector<Trace>& traces) {
+  if (traces.empty()) return "";
+  std::map<std::string, MicroTime> by_phase;
+  std::vector<std::string> order;
+  MicroTime total = 0;
+  for (const Trace& trace : traces) {
+    for (const PhaseSlice& slice : AttributeTrace(trace)) {
+      if (by_phase.emplace(slice.phase, 0).second) {
+        order.push_back(slice.phase);
+      }
+      by_phase[slice.phase] += slice.micros;
+    }
+    total += trace.DurationMicros();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return by_phase[a] > by_phase[b];
+                   });
+  std::string out;
+  for (const std::string& phase : order) {
+    double share =
+        total > 0 ? 100.0 * static_cast<double>(by_phase[phase]) /
+                        static_cast<double>(total)
+                  : 0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %-16s %10lldus  %5.1f%%\n",
+                  phase.c_str(),
+                  static_cast<long long>(by_phase[phase]), share);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dcws::obs

@@ -1,0 +1,44 @@
+#ifndef DCWS_OBS_ATTRIBUTION_H_
+#define DCWS_OBS_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace dcws::obs {
+
+// Per-request latency attribution: folds a completed span tree into
+// exclusive per-phase time slices.  Each span is charged its SELF time
+// (duration minus its direct children), and handler time covered by no
+// span at all is charged to the synthetic phase "other", so the slices
+// of one trace always sum EXACTLY to the trace duration.  core::Server
+// feeds every slice into the dcws_phase_latency_us{phase=...} histogram
+// family, which is how /.dcws/status answers "p99 requests spend X% in
+// coop_fetch".  See DESIGN.md "History, attribution & profiling".
+
+// One exclusive slice of a request's wall time.
+struct PhaseSlice {
+  std::string phase;
+  MicroTime micros = 0;
+};
+
+// Slices ordered by first appearance in the trace; same-named spans
+// accumulate into one slice.  The transport's queue span is recorded as
+// "accept_wait" but attributed as "queue_wait" (the metric family
+// name).  The sum of slices equals trace.DurationMicros() exactly.
+std::vector<PhaseSlice> AttributeTrace(const Trace& trace);
+
+// "coop_fetch 312us 62.4%, other 110us 22.0%, ..." — slices sorted by
+// share, descending.  `total` 0 derives the denominator from the slices.
+std::string FormatAttribution(const std::vector<PhaseSlice>& slices,
+                              MicroTime total = 0);
+
+// Aggregate breakdown over a set of traces (the slow ring): per-phase
+// total time as a share of summed trace time, one line per phase,
+// largest first.  Empty input gives "".
+std::string FormatPhaseBreakdown(const std::vector<Trace>& traces);
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_ATTRIBUTION_H_

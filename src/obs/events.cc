@@ -85,16 +85,22 @@ struct EventJournal::JsonlSink {
   Mutex mutex;
   std::FILE* file DCWS_GUARDED_BY(mutex) = nullptr;
 
-  void Append(const std::string& line) {
+  void Append(std::string line) {
+    line += '\n';  // one buffer, one write: the line can never tear
     MutexLock lock(mutex);
     if (file == nullptr) return;
     // The mutex IS the serialization point for whole-line writes; the
     // I/O must stay inside it or lines from concurrent servers tear.
     // dcws-lint: allow(blocking-under-lock): per-sink mutex exists only
-    std::fputs(line.c_str(), file);  // to serialize these writes
+    std::fwrite(line.data(), 1, line.size(), file);  // to serialize writes
     // dcws-lint: allow(blocking-under-lock): see above
-    std::fputc('\n', file);
-    // dcws-lint: allow(blocking-under-lock): see above
+    std::fflush(file);
+  }
+
+  void Flush() {
+    MutexLock lock(mutex);
+    if (file == nullptr) return;
+    // dcws-lint: allow(blocking-under-lock): same serialization point
     std::fflush(file);
   }
 };
@@ -155,6 +161,10 @@ void EventJournal::Emit(Event event) {
   slot.event = std::move(event);
 }
 
+void EventJournal::Flush() const {
+  if (sink_ != nullptr) sink_->Flush();
+}
+
 std::vector<Event> EventJournal::Snapshot(uint64_t since_seq) const {
   std::vector<Event> out;
   out.reserve(capacity_);
@@ -190,8 +200,11 @@ uint64_t EventJournal::CountFor(EventType type) const {
 // ---------------------------------------------------------------------
 
 std::string FormatEventText(const Event& event) {
-  std::string out = "#" + std::to_string(event.seq);
-  out += " +" + NumberToString(ToSeconds(event.at)) + "s ";
+  std::string out = "#";
+  out += std::to_string(event.seq);
+  out += " +";
+  out += NumberToString(ToSeconds(event.at));
+  out += "s ";
   out += EventTypeName(event.type);
   if (!event.doc.empty()) out += " doc=" + event.doc;
   if (!event.peer.empty()) out += " peer=" + event.peer;
@@ -269,7 +282,8 @@ std::string FormatEventsJson(const std::string& server,
   out += ",\"events\":[";
   for (size_t i = 0; i < events.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\n" + FormatEventJson(events[i]);
+    out += "\n";
+    out += FormatEventJson(events[i]);
   }
   out += "\n]}\n";
   return out;

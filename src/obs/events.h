@@ -108,6 +108,12 @@ class EventJournal {
   // ?since=N); gaps in the returned seqs mean the ring wrapped.
   std::vector<Event> Snapshot(uint64_t since_seq = 0) const;
 
+  // Flushes the JSONL mirror (if any) to the OS.  Every Emit already
+  // flushes its own line; transports still call this on stop/drain so
+  // the shutdown contract ("all emitted events are on disk when Stop
+  // returns") holds even if per-line flushing is ever relaxed.
+  void Flush() const;
+
   uint64_t total() const;    // events ever emitted (== last seq)
   uint64_t dropped() const;  // events evicted by ring wrap
   size_t depth() const;      // events currently held

@@ -76,6 +76,81 @@ const char* TypeName(MetricType type) {
   return "unknown";
 }
 
+// One-line HELP text per metric family (the DESIGN.md "Observability"
+// schema).  Unknown names get a generic line so the exposition is
+// always HELP+TYPE complete, including for test-local metrics.
+std::string_view MetricHelp(std::string_view name) {
+  struct Entry {
+    std::string_view name;
+    std::string_view help;
+  };
+  static constexpr Entry kHelp[] = {
+      {"dcws_requests_total",
+       "Client-facing request outcomes; sums to offered load."},
+      {"dcws_client_requests_total",
+       "Client-facing requests handled."},
+      {"dcws_internal_requests_total",
+       "Server-to-server requests served (pings, fetches, revokes)."},
+      {"dcws_stale_serves_total",
+       "Best-effort serves of cached bytes while home was unreachable."},
+      {"dcws_not_modified_total",
+       "Conditional revalidations answered or received as 304."},
+      {"dcws_regenerations_total",
+       "Dirty-document reconstructions (link rewrites)."},
+      {"dcws_coop_fetches_total",
+       "Documents fetched from their home server (migration or "
+       "validation)."},
+      {"dcws_migrations_total",
+       "Logical migrations committed, by direction."},
+      {"dcws_revocations_total", "Documents recalled home."},
+      {"dcws_replicas_total", "Replica placements added."},
+      {"dcws_pings_total", "Pinger probes sent."},
+      {"dcws_piggyback_absorbs_total",
+       "Piggybacked load-info headers absorbed from peers."},
+      {"dcws_request_latency_us",
+       "End-to-end request latency in microseconds, by kind."},
+      {"dcws_phase_latency_us",
+       "Exclusive per-phase request time in microseconds "
+       "(attribution; phase sums add up to dcws_request_latency_us)."},
+      {"dcws_net_write_us",
+       "Time writing the serialized response to the client socket."},
+      {"dcws_html_parse_us", "HTML parse time in microseconds."},
+      {"dcws_html_reconstruct_us",
+       "HTML reconstruction time in microseconds."},
+      {"dcws_documents", "Documents in the local store."},
+      {"dcws_migrated_documents",
+       "Documents currently migrated to a co-op."},
+      {"dcws_dirty_documents",
+       "Documents awaiting link regeneration."},
+      {"dcws_coop_hosted_documents",
+       "Documents hosted here on behalf of other homes."},
+      {"dcws_glt_peers", "Servers known to the global load table."},
+      {"dcws_load_cps", "Load metric: connections per second."},
+      {"dcws_load_bps", "Load metric: bytes per second."},
+      {"dcws_event_journal_depth", "Events held in the journal ring."},
+      {"dcws_event_journal_dropped",
+       "Events evicted by journal ring wrap."},
+      {"dcws_events", "Events emitted, by type."},
+  };
+  for (const Entry& entry : kHelp) {
+    if (entry.name == name) return entry.help;
+  }
+  return "DCWS metric.";
+}
+
+void AppendFamilyHeader(std::string& out, std::string_view name,
+                        std::string_view type, std::string_view help) {
+  out += "# HELP ";
+  out += name;
+  out += " ";
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
 }  // namespace
 
 std::string ExportText(const std::vector<MetricSnapshot>& snapshots) {
@@ -90,7 +165,8 @@ std::string ExportText(const std::vector<MetricSnapshot>& snapshots) {
       out += " p99=" + NumberToString(snap.hist.Percentile(0.99));
       out += " max=" + std::to_string(snap.hist.max);
     } else {
-      out += " " + NumberToString(snap.value);
+      out += " ";
+      out += NumberToString(snap.value);
     }
     out += "\n";
   }
@@ -127,9 +203,11 @@ std::string ExportJson(const std::vector<MetricSnapshot>& snapshots) {
         if (snap.hist.buckets[b] == 0) continue;
         if (!first) out += ",";
         first = false;
-        out += "[" +
-               std::to_string(Histogram::BucketUpperBound(b)) + "," +
-               std::to_string(snap.hist.buckets[b]) + "]";
+        out += "[";
+        out += std::to_string(Histogram::BucketUpperBound(b));
+        out += ",";
+        out += std::to_string(snap.hist.buckets[b]);
+        out += "]";
       }
       out += "]";
     } else {
@@ -144,55 +222,84 @@ std::string ExportJson(const std::vector<MetricSnapshot>& snapshots) {
 std::string ExportPrometheus(
     const std::vector<MetricSnapshot>& snapshots,
     const Labels& extra_labels) {
+  // Prometheus exposition format requires every family to appear as one
+  // contiguous block headed by exactly one # HELP and one # TYPE line.
+  // Snapshots arrive sorted by (name, labels), so families are already
+  // contiguous runs; histograms additionally fan out into four derived
+  // quantile-gauge families (name_p50/_p95/_p99/_max), which must each
+  // be grouped ACROSS the run's label sets, not interleaved per set.
   std::string out;
-  std::string last_family;
-  for (const MetricSnapshot& snap : snapshots) {
-    if (snap.type != MetricType::kHistogram) {
-      // Snapshots arrive sorted by name, so one # TYPE line heads each
-      // run of a family.
-      if (snap.name != last_family) {
-        out += "# TYPE " + snap.name + " " + TypeName(snap.type) + "\n";
-        last_family = snap.name;
+  size_t i = 0;
+  while (i < snapshots.size()) {
+    // One family = the run of snapshots sharing a name.
+    size_t j = i;
+    while (j < snapshots.size() &&
+           snapshots[j].name == snapshots[i].name) {
+      ++j;
+    }
+    const std::string& family = snapshots[i].name;
+
+    AppendFamilyHeader(out, family, TypeName(snapshots[i].type),
+                       MetricHelp(family));
+    for (size_t k = i; k < j; ++k) {
+      const MetricSnapshot& snap = snapshots[k];
+      if (snap.type != MetricType::kHistogram) {
+        out += snap.name + LabelBlock(snap.labels, extra_labels) + " " +
+               NumberToString(snap.value) + "\n";
+        continue;
       }
-      out += snap.name + LabelBlock(snap.labels, extra_labels) + " " +
-             NumberToString(snap.value) + "\n";
-      continue;
+      const Histogram::Snapshot& hist = snap.hist;
+      uint64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kBucketCount; ++b) {
+        cumulative += hist.buckets[b];
+        if (hist.buckets[b] == 0 && b + 1 != Histogram::kBucketCount) {
+          continue;  // keep the exposition compact; cumulative is intact
+        }
+        std::string le =
+            b + 1 == Histogram::kBucketCount
+                ? "+Inf"
+                : std::to_string(Histogram::BucketUpperBound(b));
+        out += snap.name + "_bucket" +
+               LabelBlockWith(snap.labels, extra_labels, "le", le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += snap.name + "_sum" + LabelBlock(snap.labels, extra_labels) +
+             " " + std::to_string(hist.sum) + "\n";
+      out += snap.name + "_count" +
+             LabelBlock(snap.labels, extra_labels) + " " +
+             std::to_string(hist.count) + "\n";
     }
 
-    const Histogram::Snapshot& hist = snap.hist;
-    out += "# TYPE " + snap.name + " histogram\n";
-    last_family = snap.name;
-    uint64_t cumulative = 0;
-    for (int b = 0; b < Histogram::kBucketCount; ++b) {
-      cumulative += hist.buckets[b];
-      if (hist.buckets[b] == 0 && b + 1 != Histogram::kBucketCount) {
-        continue;  // keep the exposition compact; cumulative is intact
-      }
-      std::string le =
-          b + 1 == Histogram::kBucketCount
-              ? "+Inf"
-              : std::to_string(Histogram::BucketUpperBound(b));
-      out += snap.name + "_bucket" +
-             LabelBlockWith(snap.labels, extra_labels, "le", le) + " " +
-             std::to_string(cumulative) + "\n";
-    }
-    out += snap.name + "_sum" + LabelBlock(snap.labels, extra_labels) +
-           " " + std::to_string(hist.sum) + "\n";
-    out += snap.name + "_count" + LabelBlock(snap.labels, extra_labels) +
-           " " + std::to_string(hist.count) + "\n";
     // Derived quantile gauges: scrapable p50/p95/p99/max without
-    // server-side histogram_quantile().
-    for (const auto& [suffix, value] :
-         std::vector<std::pair<const char*, double>>{
-             {"_p50", hist.Percentile(0.50)},
-             {"_p95", hist.Percentile(0.95)},
-             {"_p99", hist.Percentile(0.99)},
-             {"_max", static_cast<double>(hist.max)}}) {
-      out += "# TYPE " + snap.name + suffix + " gauge\n";
-      out += snap.name + suffix +
-             LabelBlock(snap.labels, extra_labels) + " " +
-             NumberToString(value) + "\n";
+    // server-side histogram_quantile().  Each derived family groups the
+    // whole run so its own HELP/TYPE header appears exactly once.
+    if (snapshots[i].type == MetricType::kHistogram) {
+      struct Derived {
+        const char* suffix;
+        const char* what;
+        double q;  // < 0 means max
+      };
+      static constexpr Derived kDerived[] = {
+          {"_p50", "p50", 0.50},
+          {"_p95", "p95", 0.95},
+          {"_p99", "p99", 0.99},
+          {"_max", "max", -1},
+      };
+      for (const Derived& d : kDerived) {
+        std::string help = std::string(d.what) + " of " + family +
+                           " (derived gauge).";
+        AppendFamilyHeader(out, family + d.suffix, "gauge", help);
+        for (size_t k = i; k < j; ++k) {
+          const Histogram::Snapshot& hist = snapshots[k].hist;
+          double value = d.q < 0 ? static_cast<double>(hist.max)
+                                 : hist.Percentile(d.q);
+          out += family + d.suffix +
+                 LabelBlock(snapshots[k].labels, extra_labels) + " " +
+                 NumberToString(value) + "\n";
+        }
+      }
     }
+    i = j;
   }
   return out;
 }

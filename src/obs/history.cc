@@ -1,0 +1,202 @@
+#include "src/obs/history.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dcws::obs {
+
+namespace {
+
+// "name{a=x,b=y} field" — doubles as the sort key (map order), since
+// snapshots arrive sorted the same way.
+std::string SeriesKey(const std::string& name, const Labels& labels,
+                      std::string_view field) {
+  std::string key = name;
+  key += "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += "} ";
+  key += field;
+  return key;
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+}
+
+std::string NumberToString(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+void MetricHistory::Sample(
+    const std::vector<MetricSnapshot>& snapshots, MicroTime at) {
+  MutexLock lock(mutex_);
+  for (const MetricSnapshot& snap : snapshots) {
+    struct FieldValue {
+      const char* field;
+      double value;
+    };
+    std::vector<FieldValue> fields;
+    if (snap.type == MetricType::kHistogram) {
+      fields = {{"count", static_cast<double>(snap.hist.count)},
+                {"p50", snap.hist.Percentile(0.50)},
+                {"p95", snap.hist.Percentile(0.95)},
+                {"p99", snap.hist.Percentile(0.99)}};
+    } else {
+      fields = {{"value", snap.value}};
+    }
+    for (const FieldValue& fv : fields) {
+      std::string key = SeriesKey(snap.name, snap.labels, fv.field);
+      auto it = series_.find(key);
+      if (it == series_.end()) {
+        it = series_
+                 .emplace(std::move(key),
+                          Series{snap.name, snap.labels, fv.field,
+                                 metrics::SampleRing(capacity_)})
+                 .first;
+      }
+      it->second.ring.Append(at, fv.value);
+    }
+  }
+}
+
+std::vector<HistorySeries> MetricHistory::Snapshot(
+    std::string_view metric, MicroTime since) const {
+  MutexLock lock(mutex_);
+  std::vector<HistorySeries> out;
+  for (const auto& [key, series] : series_) {
+    if (!metric.empty() && series.name != metric) continue;
+    std::vector<metrics::Sample> samples = series.ring.Snapshot(since);
+    if (samples.empty()) continue;
+    out.push_back(HistorySeries{series.name, series.labels, series.field,
+                                series.ring.total_appended(),
+                                std::move(samples)});
+  }
+  return out;
+}
+
+size_t MetricHistory::series_count() const {
+  MutexLock lock(mutex_);
+  return series_.size();
+}
+
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static constexpr const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                             "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+  size_t start = values.size() > width ? values.size() - width : 0;
+  double lo = values[start];
+  double hi = values[start];
+  for (size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (size_t i = start; i < values.size(); ++i) {
+    int level = 3;  // flat series render mid-height
+    if (hi > lo) {
+      level = static_cast<int>((values[i] - lo) / (hi - lo) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string FormatHistoryText(const std::vector<HistorySeries>& series,
+                              size_t sparkline_width) {
+  std::string out;
+  for (const HistorySeries& s : series) {
+    out += SeriesKey(s.name, s.labels, s.field);
+    std::vector<double> values;
+    values.reserve(s.samples.size());
+    double lo = 0;
+    double hi = 0;
+    for (size_t i = 0; i < s.samples.size(); ++i) {
+      double v = s.samples[i].value;
+      values.push_back(v);
+      lo = i == 0 ? v : std::min(lo, v);
+      hi = i == 0 ? v : std::max(hi, v);
+    }
+    out += " n=";
+    out += std::to_string(s.samples.size());
+    out += " last=";
+    out += NumberToString(values.back());
+    out += " min=";
+    out += NumberToString(lo);
+    out += " max=";
+    out += NumberToString(hi);
+    out += " ";
+    out += Sparkline(values, sparkline_width);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatHistoryJson(const std::string& server, MicroTime now,
+                              const std::vector<HistorySeries>& series) {
+  std::string out = "{\"server\":";
+  AppendJsonString(out, server);
+  out += ",\"now\":";
+  out += std::to_string(now);
+  out += ",\"series\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const HistorySeries& s = series[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(out, s.name);
+    out += ",\"labels\":{";
+    for (size_t j = 0; j < s.labels.size(); ++j) {
+      if (j > 0) out += ",";
+      AppendJsonString(out, s.labels[j].first);
+      out += ":";
+      AppendJsonString(out, s.labels[j].second);
+    }
+    out += "},\"field\":";
+    AppendJsonString(out, s.field);
+    out += ",\"total\":";
+    out += std::to_string(s.total_appended);
+    out += ",\"samples\":[";
+    for (size_t j = 0; j < s.samples.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "[";
+      out += std::to_string(s.samples[j].at);
+      out += ",";
+      out += NumberToString(s.samples[j].value);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dcws::obs

@@ -1,0 +1,95 @@
+#ifndef DCWS_OBS_HISTORY_H_
+#define DCWS_OBS_HISTORY_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/metrics/time_series.h"
+#include "src/obs/metrics.h"
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+
+namespace dcws::obs {
+
+// Metric history: every instrument in a Registry gains a bounded ring
+// of periodic samples, so /.dcws/status's point-in-time answer ("load
+// is 41 cps") becomes a curve ("load climbed from 12 to 41 cps over the
+// last two minutes").  The sampler runs on the server's duty tick (real
+// transports) and on experiment epochs (simulator); GET /.dcws/history
+// serves the rings.  See DESIGN.md "History, attribution & profiling".
+//
+// A counter or gauge contributes one series (field "value"); a
+// histogram contributes four (fields "count", "p50", "p95", "p99") —
+// the percentile *trajectory* is exactly what a before/after perf
+// comparison needs, and it cannot be recovered from a final snapshot.
+
+// One sampled series, frozen at Snapshot() time.
+struct HistorySeries {
+  std::string name;
+  Labels labels;
+  std::string field;  // "value" | "count" | "p50" | "p95" | "p99"
+  uint64_t total_appended = 0;  // > samples.size() once the ring wrapped
+  std::vector<metrics::Sample> samples;  // oldest first
+};
+
+// Thread-safe collection of sample rings, one per (instrument, field).
+// Series appear lazily the first time an instrument shows up in a
+// sampled snapshot and persist until the history is destroyed.
+class MetricHistory {
+ public:
+  explicit MetricHistory(size_t capacity) : capacity_(capacity) {}
+
+  MetricHistory(const MetricHistory&) = delete;
+  MetricHistory& operator=(const MetricHistory&) = delete;
+
+  // Appends one sample (timestamped `at`) per tracked field of every
+  // instrument in `snapshots`.
+  void Sample(const std::vector<MetricSnapshot>& snapshots, MicroTime at)
+      DCWS_EXCLUDES(mutex_);
+
+  // Series sorted by (name, labels, field).  `metric` "" matches every
+  // series, otherwise only exact name matches.  `since` 0 returns whole
+  // rings, otherwise only samples with at >= since.  Series whose every
+  // sample is cut by `since` are omitted.
+  std::vector<HistorySeries> Snapshot(std::string_view metric = {},
+                                      MicroTime since = 0) const
+      DCWS_EXCLUDES(mutex_);
+
+  size_t series_count() const DCWS_EXCLUDES(mutex_);
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::string field;
+    metrics::SampleRing ring;
+  };
+
+  const size_t capacity_;
+  mutable Mutex mutex_;
+  // Keyed by "name{labels} field" — map order gives sorted snapshots.
+  std::map<std::string, Series> series_ DCWS_GUARDED_BY(mutex_);
+};
+
+// Unicode block-element sparkline of `values`, one glyph per value,
+// scaled min..max (flat series render mid-height).  At most `width`
+// glyphs: longer inputs keep the trailing `width` values.  Empty input
+// gives "".
+std::string Sparkline(const std::vector<double>& values, size_t width);
+
+// GET /.dcws/history bodies.  Text mode is one line per series:
+//   name{labels} field n=<samples> last=<v> min=<v> max=<v> <sparkline>
+std::string FormatHistoryText(const std::vector<HistorySeries>& series,
+                              size_t sparkline_width = 32);
+// {"server":...,"now":N,"series":[{"name":...,"labels":{...},
+//  "field":...,"total":N,"samples":[[at,value],...]},...]}
+std::string FormatHistoryJson(const std::string& server, MicroTime now,
+                              const std::vector<HistorySeries>& series);
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_HISTORY_H_

@@ -61,7 +61,12 @@ double Histogram::Snapshot::Percentile(double q) const {
     // Landing bucket: interpolate between its bounds by rank.
     double lower =
         i == 0 ? 0 : static_cast<double>(uint64_t{1} << (i - 1));
-    double upper = static_cast<double>(BucketUpperBound(i));
+    // The overflow bucket's nominal bound understates its contents
+    // (values past the last boundary all land there); the observed max
+    // is the honest upper edge for interpolation.
+    double upper = i == kBucketCount - 1
+                       ? static_cast<double>(max)
+                       : static_cast<double>(BucketUpperBound(i));
     double fraction =
         buckets[i] == 0
             ? 0

@@ -1,0 +1,204 @@
+#include "src/obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+
+namespace dcws::obs {
+
+Profiler& Profiler::Instance() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+bool Profiler::Enabled() {
+  const char* env = std::getenv("DCWS_PROFILE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+// The SIGPROF handler.  Async-signal-safe by construction: one relaxed
+// fetch-add to claim a slot, backtrace() into the slot's fixed array
+// (pre-warmed by Start, so no lazy dlopen here), one release store to
+// publish.  No locks, no allocation, no stdio; errno is preserved for
+// the interrupted code.
+void ProfilerSignalHandler(int /*signum*/) {
+  int saved_errno = errno;
+  Profiler& p = Profiler::Instance();
+  if (p.capturing_.load(std::memory_order_acquire)) {
+    uint32_t slot = p.next_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < static_cast<uint32_t>(Profiler::kMaxSamples)) {
+      Profiler::CaptureSlot& s = p.slots_[slot];
+      int depth = backtrace(s.pc, Profiler::kMaxDepth);
+      s.depth.store(depth, std::memory_order_release);
+    }
+  }
+  errno = saved_errno;
+}
+
+Result<bool> Profiler::Start(int hz) {
+  if (busy_.exchange(true)) {
+    return Status::Unavailable("profiler capture already running");
+  }
+  if (hz <= 0) hz = kDefaultHz;
+  hz = std::clamp(hz, 10, 1000);
+
+  if (slots_.empty()) slots_ = std::vector<CaptureSlot>(kMaxSamples);
+  for (CaptureSlot& slot : slots_) {
+    slot.depth.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+
+  // Pre-warm backtrace(): its first call dlopens libgcc (allocating),
+  // which must happen here and not inside the signal handler.
+  void* warm[4];
+  (void)backtrace(warm, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ProfilerSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: a sample landing inside accept()/read() must not turn
+  // into a spurious EINTR failure on the serving path.
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, &old_action_) != 0) {
+    busy_.store(false);
+    return Status::Unavailable("sigaction(SIGPROF) failed");
+  }
+
+  // CPU-time timer: fires only while the process burns CPU, which is
+  // what a profile should weight by (an idle server yields no samples).
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_SIGNAL;
+  event.sigev_signo = SIGPROF;
+  if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &event, &timer_) != 0) {
+    sigaction(SIGPROF, &old_action_, nullptr);
+    busy_.store(false);
+    return Status::Unavailable("timer_create failed");
+  }
+  capturing_.store(true, std::memory_order_release);
+
+  long interval_ns = 1'000'000'000L / hz;
+  struct itimerspec spec;
+  spec.it_interval.tv_sec = interval_ns / 1'000'000'000L;
+  spec.it_interval.tv_nsec = interval_ns % 1'000'000'000L;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(timer_, 0, &spec, nullptr) != 0) {
+    capturing_.store(false, std::memory_order_release);
+    timer_delete(timer_);
+    sigaction(SIGPROF, &old_action_, nullptr);
+    busy_.store(false);
+    return Status::Unavailable("timer_settime failed");
+  }
+  return true;
+}
+
+size_t Profiler::Stop() {
+  if (!busy_.load()) return 0;
+  // Gate the handler first: a SIGPROF already in flight after
+  // timer_delete must find capturing_ false (or at worst write one more
+  // slot, which is why slots_ stays allocated for the process lifetime).
+  capturing_.store(false, std::memory_order_release);
+  timer_delete(timer_);
+  sigaction(SIGPROF, &old_action_, nullptr);
+  size_t taken = std::min<size_t>(next_.load(std::memory_order_relaxed),
+                                  kMaxSamples);
+  busy_.store(false);
+  return taken;
+}
+
+namespace {
+
+// Best-effort frame name: dynamic symbol via dladdr (the build exports
+// symbols with -rdynamic), demangled when possible, else raw, else the
+// hex address.
+std::string SymbolName(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string name = demangled;
+      std::free(demangled);
+      // Flamegraph frame separators are ';'; argument lists only widen
+      // the frames, so keep "ns::Function" and drop "(args)".
+      size_t paren = name.find('(');
+      if (paren != std::string::npos) name.resize(paren);
+      return name;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%zx",
+                reinterpret_cast<size_t>(pc));
+  return buf;
+}
+
+}  // namespace
+
+std::string Profiler::Collapse() const {
+  std::map<std::string, uint64_t> folded;
+  size_t count =
+      std::min<size_t>(next_.load(std::memory_order_relaxed), kMaxSamples);
+  for (size_t i = 0; i < count; ++i) {
+    const CaptureSlot& slot = slots_[i];
+    int depth = slot.depth.load(std::memory_order_acquire);
+    if (depth <= 0) continue;  // unpublished (torn) slot
+    std::vector<std::string> frames;
+    frames.reserve(depth);
+    for (int f = 0; f < depth; ++f) {
+      frames.push_back(SymbolName(slot.pc[f]));
+    }
+    // Drop the capture machinery itself: everything up to and including
+    // the handler frame and the kernel signal trampoline above it.
+    size_t first = 0;
+    for (size_t f = 0; f < frames.size(); ++f) {
+      if (frames[f].find("ProfilerSignalHandler") != std::string::npos) {
+        first = f + 1;
+        if (first < frames.size() &&
+            frames[first].find("restore") != std::string::npos) {
+          ++first;
+        }
+        break;
+      }
+    }
+    if (first >= frames.size()) continue;
+    // backtrace() returns innermost-first; folded stacks read
+    // outermost-first.
+    std::string line;
+    for (size_t f = frames.size(); f > first; --f) {
+      if (!line.empty()) line += ";";
+      line += frames[f - 1];
+    }
+    folded[line] += 1;
+  }
+  std::string out;
+  for (const auto& [stack, n] : folded) {
+    out += stack + " " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+Result<std::string> Profiler::Capture(double seconds, int hz) {
+  seconds = std::clamp(seconds, 0.05, 30.0);
+  Result<bool> started = Start(hz);
+  if (!started.ok()) return started.status();
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      static_cast<int64_t>(seconds * 1'000'000.0)));
+  Stop();
+  return Collapse();
+}
+
+}  // namespace dcws::obs

@@ -1,0 +1,83 @@
+#ifndef DCWS_OBS_PROFILER_H_
+#define DCWS_OBS_PROFILER_H_
+
+#include <atomic>
+#include <csignal>
+#include <cstddef>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dcws::obs {
+
+// In-process sampling profiler: a POSIX CPU-time timer
+// (timer_create/SIGEV_SIGNAL) delivers SIGPROF at a fixed rate, the
+// signal handler grabs a fixed-depth raw stack into a preallocated slot,
+// and Collapse() symbolizes AFTER capture into flamegraph-compatible
+// folded stacks ("outer;inner count" lines, feedable straight into
+// flamegraph.pl).  Served at GET /.dcws/profile?seconds=N when the
+// DCWS_PROFILE environment variable enables it.
+//
+// Async-signal-safety contract for the capture path (the part running
+// inside the SIGPROF handler): claim a slot with one atomic fetch-add,
+// fill a fixed void*[] via backtrace(), publish with one release store
+// — no allocation, no locks, no stdio.  backtrace() itself lazily loads
+// libgcc on first use (which WOULD allocate), so Start() pre-warms it
+// once before arming the timer.  Symbol resolution (dladdr + demangle,
+// both allocating) happens only in Collapse(), off-signal.
+//
+// One capture at a time per process (SIGPROF is process-global); Capture
+// returns Unavailable when another capture is running.
+
+class Profiler {
+ public:
+  static constexpr int kMaxDepth = 48;
+  static constexpr int kMaxSamples = 4096;
+  static constexpr int kDefaultHz = 97;  // off-beat, avoids lockstep
+
+  // The process-wide instance (the signal handler needs a global).
+  static Profiler& Instance();
+
+  // True when the DCWS_PROFILE environment variable is set non-empty
+  // (and not "0").  Gates the /.dcws/profile endpoint; reading the env
+  // every call keeps tests simple, and this is never on a hot path.
+  static bool Enabled();
+
+  // Runs one blocking capture on the calling thread: arm the timer,
+  // sleep `seconds` of wall time, disarm, and return folded stacks
+  // (possibly "" when the process burned no CPU — the timer counts
+  // process CPU time, not wall time).  `hz` 0 means kDefaultHz.
+  Result<std::string> Capture(double seconds, int hz = 0);
+
+  // Split-phase API (tests drive their own load between these).
+  Result<bool> Start(int hz = 0);
+  // Returns the number of samples captured.
+  size_t Stop();
+  std::string Collapse() const;
+
+ private:
+  Profiler() = default;
+
+  // One preallocated capture slot.  `depth` 0 = unwritten or mid-write;
+  // the handler publishes it last (release), readers load it first
+  // (acquire) — a torn slot is simply skipped.
+  struct CaptureSlot {
+    std::atomic<int> depth{0};
+    void* pc[kMaxDepth];
+  };
+
+  friend void ProfilerSignalHandler(int);
+
+  std::atomic<bool> busy_{false};       // one capture at a time
+  std::atomic<bool> capturing_{false};  // handler gate
+  std::atomic<uint32_t> next_{0};       // slot claim cursor
+  std::vector<CaptureSlot> slots_;      // sized kMaxSamples by Start
+  timer_t timer_{};
+  struct sigaction old_action_ {};
+};
+
+}  // namespace dcws::obs
+
+#endif  // DCWS_OBS_PROFILER_H_

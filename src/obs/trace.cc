@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/obs/attribution.h"
+
 namespace dcws::obs {
 
 namespace {
@@ -183,6 +185,13 @@ std::string FormatTraceText(const Trace& trace) {
     if (!span.note.empty()) out << " [" << span.note << "]";
     out << "\n";
   }
+  // Critical path at a glance: exclusive per-phase slices, largest
+  // first (they sum to the trace duration).
+  std::vector<PhaseSlice> slices = AttributeTrace(trace);
+  if (!slices.empty()) {
+    out << "  attribution: "
+        << FormatAttribution(slices, trace.DurationMicros()) << "\n";
+  }
   return std::move(out).str();
 }
 
@@ -213,6 +222,16 @@ std::string FormatTraceJson(const Trace& trace) {
       AppendJsonEscaped(out, span.note);
       out += "\"";
     }
+    out += "}";
+  }
+  out += "],\"attribution\":[";
+  std::vector<PhaseSlice> slices = AttributeTrace(trace);
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"phase\":\"";
+    AppendJsonEscaped(out, slices[i].phase);
+    out += "\",\"us\":";
+    out += std::to_string(slices[i].micros);
     out += "}";
   }
   out += "]}";

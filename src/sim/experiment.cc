@@ -124,6 +124,7 @@ ExperimentResult RunExperiment(const workload::SiteSpec& site,
   result.server_counters = world.AggregateServerCounters();
   result.metrics = world.AggregateMetrics();
   result.host_events = world.CollectEventStreams();
+  result.host_history = world.CollectHistory();
   result.latency_ms = metrics::Summarize(world.TakeLatencySamplesMs());
   return result;
 }

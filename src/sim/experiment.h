@@ -45,6 +45,10 @@ struct ExperimentResult {
   // migration/recall/liveness decision audit, schema-identical to a
   // live server's GET /.dcws/events.
   std::vector<SimWorld::HostEvents> host_events;
+  // Per-host metric history rings (lifetime tail): periodic samples of
+  // every instrument, schema-identical to GET /.dcws/history.  The sim
+  // ticks drive the samplers on virtual time (history_interval).
+  std::vector<SimWorld::HostHistory> host_history;
   // Client-perceived response-time distribution over the measured
   // window (ms) — the "RTT" metric the paper could not measure (§5.3).
   metrics::Summary latency_ms;

@@ -279,6 +279,18 @@ std::vector<SimWorld::HostEvents> SimWorld::CollectEventStreams() const {
   return streams;
 }
 
+std::vector<SimWorld::HostHistory> SimWorld::CollectHistory(
+    std::string_view metric) const {
+  std::vector<HostHistory> histories;
+  histories.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    const core::Server& server = *host->server_;
+    histories.push_back(HostHistory{server.address().ToString(),
+                                    server.history().Snapshot(metric)});
+  }
+  return histories;
+}
+
 std::vector<obs::MetricSnapshot> SimWorld::AggregateMetrics() const {
   std::vector<std::vector<obs::MetricSnapshot>> per_host;
   per_host.reserve(hosts_.size());

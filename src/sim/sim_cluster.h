@@ -178,6 +178,18 @@ class SimWorld : public core::PeerClient {
   };
   std::vector<HostEvents> CollectEventStreams() const;
 
+  // Per-host metric history rings (schema-identical to a live server's
+  // GET /.dcws/history).  The scheduled ticks drive each server's
+  // sampler on virtual time, so a finished run carries the trailing
+  // ring of every instrument — per-host load/latency trends the
+  // aggregate CPS/BPS series cannot show.  `metric` "" = all series.
+  struct HostHistory {
+    std::string server;
+    std::vector<obs::HistorySeries> series;
+  };
+  std::vector<HostHistory> CollectHistory(
+      std::string_view metric = {}) const;
+
  private:
   void ScheduleTicks();
 

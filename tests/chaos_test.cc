@@ -15,6 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -558,6 +561,80 @@ TEST_F(ChaosTest, DecidedWithoutAppliedMarksCrashMidMigration) {
                      .has_value())
         << "member " << i << " must not record a physical migration";
   }
+}
+
+// ---------------------------------------------------------------------
+// JSONL mirror (DCWS_EVENT_LOG): stopping the transports must leave a
+// fully flushed file in which every line — written concurrently by
+// both members' journals through the shared appender — parses as one
+// complete JSON object.  A torn or buffered-but-lost line here is
+// exactly the failure mode the single-write Append and the Stop-path
+// Flush exist to prevent.
+// ---------------------------------------------------------------------
+
+// True when `line` is one balanced JSON object (brace/bracket depth
+// tracked outside string literals, escapes honoured).
+bool IsBalancedJsonObject(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return false;
+  }
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : line) {
+    if (escaped) {
+      escaped = false;
+    } else if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(ChaosTest, EventLogMirrorFlushesParseableJsonl) {
+  std::string path = ::testing::TempDir() + "dcws_chaos_events.jsonl";
+  std::remove(path.c_str());  // the sink appends; start clean
+  ::setenv("DCWS_EVENT_LOG", path.c_str(), 1);
+  {
+    ClusterHarness& h = Make(TwoNodes());
+    LoadSite(h);
+    ASSERT_TRUE(h.DriveUntil(0, {"/i.gif"}, [&]() {
+      return h.FindEvent(0, obs::EventType::kMigrationDecided)
+          .has_value();
+    }));
+    // Drain-stop both members: the transports' Stop paths flush the
+    // mirror, so everything emitted is on disk when these return.
+    h.StopServer(0, ClusterHarness::StopMode::kDrain);
+    h.StopServer(1, ClusterHarness::StopMode::kDrain);
+  }
+  ::unsetenv("DCWS_EVENT_LOG");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  int lines = 0;
+  bool saw_decided = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(IsBalancedJsonObject(line)) << "torn line: " << line;
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"server\":\""), std::string::npos) << line;
+    if (line.find("\"type\":\"migration_decided\"") !=
+        std::string::npos) {
+      saw_decided = true;
+    }
+  }
+  EXPECT_GE(lines, 1);
+  EXPECT_TRUE(saw_decided)
+      << "the decision the test waited for must be mirrored";
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "src/http/message.h"
 #include "src/obs/export.h"
+#include "src/obs/history.h"
 #include "src/util/logging.h"
 
 namespace dcws::test {
@@ -113,6 +114,9 @@ core::ServerParams ClusterHarness::ChaosParams() {
   params.selection.hit_threshold = 1;
   params.min_load_cps = 2;
   params.conditional_validation = true;
+  // History samples land on the accelerated duty cadence, so even a
+  // short chaos scenario dumps a multi-sample trend per instrument.
+  params.history_interval = Millis(100);
   return params;
 }
 
@@ -425,6 +429,8 @@ std::string ClusterHarness::DumpStatus() {
     out += "---- traces ----\n";
     out += obs::FormatTracesJson(server.recent_traces().Snapshot(),
                                  server.slow_traces().Snapshot());
+    out += "---- history ----\n";
+    out += obs::FormatHistoryText(server.history().Snapshot());
     out += "\n---- events (" + std::to_string(server.journal().total()) +
            " total, " + std::to_string(server.journal().dropped()) +
            " evicted) ----\n";

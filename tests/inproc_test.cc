@@ -156,6 +156,45 @@ TEST_F(InprocTest, FetcherDrivesBrowsingClient) {
   EXPECT_GT(client.stats().requests, 30u);
 }
 
+TEST(InprocHistoryTest, RingFillsUnderDutyThread) {
+  // The transport's duty thread drives Server::Tick, which runs the
+  // metric-history sampler every history_interval (50 ms here; a
+  // dedicated server so the fast sampler doesn't load the shared
+  // fixture).  After a couple of intervals the ring must hold at least
+  // two samples of the pre-registered request counter.
+  WallClock clock;
+  core::ServerParams params = FastParams();
+  params.history_interval = Millis(50);
+  core::Server server({"hist", 9200}, params, &clock);
+  ASSERT_TRUE(
+      server.LoadSite({Doc("/index.html", "<p>hi</p>")}, {}).ok());
+  InprocNetwork network;
+  network.AddServer(&server);
+
+  http::Request request;
+  request.target = "/index.html";
+  ASSERT_TRUE(network.Execute(server.address(), request).ok());
+
+  http::Request history;
+  history.target =
+      "/.dcws/history?metric=dcws_requests_total&format=json";
+  std::string body;
+  for (int i = 0; i < 40; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto response = network.Execute(server.address(), history);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status_code, 200);
+    body = response->body;
+    if (body.find("],[") != std::string::npos) break;
+  }
+  network.StopAll();
+  EXPECT_NE(body.find("\"name\":\"dcws_requests_total\""),
+            std::string::npos)
+      << body;
+  // Two or more [at,value] pairs in one samples array.
+  EXPECT_NE(body.find("],["), std::string::npos) << body;
+}
+
 TEST(InprocBacklogTest, OverflowDrops503) {
   // One slow-ish host with a tiny queue, slammed concurrently.
   WallClock clock;

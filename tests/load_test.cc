@@ -52,6 +52,25 @@ TEST(RateWindowTest, BucketsBoundMemory) {
   EXPECT_GT(window.Cps(100000 * 100), 0.0);
 }
 
+TEST(RateWindowTest, SteadyRateAcrossSamplerTickBoundary) {
+  // The history sampler reads Cps once per history_interval; a steady
+  // arrival rate must read the same on both sides of a tick boundary
+  // (no sawtooth from bucket rotation at the window edge).
+  metrics::RateWindow window(Seconds(10));
+  for (int i = 0; i < 1000; ++i) {
+    window.Record(i * Millis(10), 100);  // 100 cps for 10 s
+  }
+  MicroTime tick = Seconds(10);  // exactly one window, one sampler tick
+  double before = window.Cps(tick - Millis(1));
+  double at = window.Cps(tick);
+  double after = window.Cps(tick + Millis(1));
+  EXPECT_NEAR(before, 100.0, 5.0);
+  EXPECT_NEAR(at, 100.0, 5.0);
+  EXPECT_NEAR(after, 100.0, 5.0);
+  // Reading must not mutate: a second read at the same instant agrees.
+  EXPECT_DOUBLE_EQ(window.Cps(tick), at);
+}
+
 TEST(RateWindowTest, ZeroWindowIsClampedNotDivideByZero) {
   // A zero (or negative) window from a miscomputed config clamps to
   // 1 us; Cps/Bps must return finite values, never divide by zero.
@@ -92,6 +111,46 @@ TEST(TimeSeriesTest, SummaryPercentiles) {
   EXPECT_NEAR(s.mean, 50.5, 0.01);
   auto empty = metrics::Summarize({});
   EXPECT_EQ(empty.count, 0u);
+}
+
+// ----------------------------------------------------------- sample ring
+
+TEST(SampleRingTest, FillsThenWrapsKeepingNewest) {
+  metrics::SampleRing ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) {
+    ring.Append(Seconds(i), i * 1.0);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 4u);
+  std::vector<metrics::Sample> all = ring.Snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().value, 0.0);
+  EXPECT_EQ(all.back().value, 3.0);
+
+  // Two more: the two oldest fall off, order stays oldest-first.
+  ring.Append(Seconds(4), 4.0);
+  ring.Append(Seconds(5), 5.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 6u);
+  all = ring.Snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[i].at, Seconds(2 + i));
+    EXPECT_EQ(all[i].value, 2.0 + static_cast<double>(i));
+  }
+}
+
+TEST(SampleRingTest, SnapshotSinceFiltersByTimestamp) {
+  metrics::SampleRing ring(8);
+  for (int i = 0; i < 6; ++i) {
+    ring.Append(Seconds(i), i * 1.0);
+  }
+  std::vector<metrics::Sample> tail = ring.Snapshot(Seconds(4));
+  ASSERT_EQ(tail.size(), 2u);  // at >= since is inclusive
+  EXPECT_EQ(tail[0].at, Seconds(4));
+  EXPECT_EQ(tail[1].at, Seconds(5));
+  EXPECT_TRUE(ring.Snapshot(Seconds(100)).empty());
 }
 
 // ------------------------------------------------------------------- GLT

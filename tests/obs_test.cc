@@ -1,21 +1,40 @@
 // Unit tests for the observability layer: metrics registry (counter /
 // gauge / log-bucket histogram), snapshot merging, trace ids, span
-// trees, trace rings, and the three export formats.
+// trees, trace rings, metric history rings, per-phase attribution, the
+// sampling profiler, and the three export formats.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/html/rewriter.h"
+#include "src/obs/attribution.h"
 #include "src/obs/events.h"
 #include "src/obs/export.h"
+#include "src/obs/history.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/util/clock.h"
+
+// Signal-driven backtraces (the sampling profiler) are not TSan-clean;
+// the profiler tests are skipped under ThreadSanitizer.
+#if defined(__SANITIZE_THREAD__)
+#define DCWS_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DCWS_TEST_TSAN 1
+#endif
+#endif
 
 namespace dcws::obs {
 namespace {
@@ -101,6 +120,40 @@ TEST(HistogramTest, SingleValuePercentiles) {
   // Every quantile of a single observation is capped at that value.
   EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 42.0);
   EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 42.0);
+}
+
+TEST(HistogramTest, PercentilesWithAllMassInOneBucket) {
+  // Every observation in one interior bucket: quantiles interpolate
+  // inside that bucket's range and never exceed the observed max.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Observe(6);  // bucket [4,7]
+  Histogram::Snapshot snap = h.Snap();
+  for (double q : {0.01, 0.5, 0.95, 0.99, 1.0}) {
+    double p = snap.Percentile(q);
+    EXPECT_GE(p, 3.0) << "q=" << q;  // previous bucket's upper bound
+    EXPECT_LE(p, 6.0) << "q=" << q;  // capped at max, not bound 7
+  }
+}
+
+TEST(HistogramTest, PercentilesWithAllMassInOverflowBucket) {
+  // Values past the last finite boundary all land in the overflow
+  // bucket; quantiles must stay finite and capped at the observed max.
+  Histogram h;
+  const uint64_t huge = ~uint64_t{0} - 3;
+  h.Observe(huge);
+  h.Observe(huge - 1);
+  h.Observe(huge - 2);
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.buckets[Histogram::kBucketCount - 1], 3u);
+  double last = -1;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    double p = snap.Percentile(q);
+    EXPECT_TRUE(std::isfinite(p)) << "q=" << q;
+    EXPECT_LE(p, static_cast<double>(snap.max)) << "q=" << q;
+    EXPECT_GE(p, last) << "q=" << q;
+    last = p;
+  }
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), static_cast<double>(huge));
 }
 
 TEST(HistogramTest, MergeAddsBucketsCountsAndMax) {
@@ -410,10 +463,9 @@ TEST(ExportTest, PrometheusAppendsExtraLabelsToEverySeries) {
   std::string prom =
       ExportPrometheus(SampleSnapshots(), {{"server", "alpha:8001"}});
   EXPECT_NE(prom.find("server=\"alpha:8001\""), std::string::npos);
-  EXPECT_NE(
-      prom.find(
-          "dcws_requests_total{outcome=\"served_local\",server=\"alpha:8001\"} 12"),
-      std::string::npos)
+  EXPECT_NE(prom.find("dcws_requests_total{outcome=\"served_local\","
+                      "server=\"alpha:8001\"} 12"),
+            std::string::npos)
       << prom;
 }
 
@@ -600,6 +652,30 @@ TEST(EventJournalTest, JsonFormatsCarryTypedFields) {
   EXPECT_NE(text.find("glt={beta:8002=2}"), std::string::npos) << text;
 }
 
+TEST(EventJournalTest, SinceCursorAcrossRingWraparound) {
+  // After the ring wraps, a cursor inside the surviving window reads
+  // exactly the newer survivors; a cursor past the tail — including one
+  // from a previous, longer-lived incarnation — reads nothing.
+  ManualClock clock;
+  EventJournal journal("alpha:8001", &clock, 4);
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.type = EventType::kQueueDrop;
+    journal.Emit(e);
+  }
+  // Ring holds seqs 7..10; a cursor below the surviving window returns
+  // all four (the gap 3..6 signals eviction to the poller).
+  EXPECT_EQ(journal.Snapshot(2).size(), 4u);
+  std::vector<Event> tail = journal.Snapshot(8);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 9u);
+  EXPECT_EQ(tail[1].seq, 10u);
+  // Cursor at and past the newest seq: empty, never a full replay.
+  EXPECT_TRUE(journal.Snapshot(10).empty());
+  EXPECT_TRUE(journal.Snapshot(11).empty());
+  EXPECT_TRUE(journal.Snapshot(~uint64_t{0}).empty());
+}
+
 TEST(EventJournalTest, JsonlSinkMirrorsEveryEmit) {
   std::string path = ::testing::TempDir() + "/dcws_event_log_test.jsonl";
   std::remove(path.c_str());
@@ -627,6 +703,389 @@ TEST(EventJournalTest, JsonlSinkMirrorsEveryEmit) {
   }
   // The sink mirrors every emit, including the ones the ring evicted.
   EXPECT_EQ(lines, 6);
+}
+
+// ---------------------------------------------------------------------
+// Metric history.
+
+const HistorySeries* FindSeries(const std::vector<HistorySeries>& all,
+                                std::string_view name,
+                                std::string_view field) {
+  for (const HistorySeries& series : all) {
+    if (series.name == name && series.field == field) return &series;
+  }
+  return nullptr;
+}
+
+TEST(MetricHistoryTest, ScalarsGetOneSeriesHistogramsGetFour) {
+  Registry registry;
+  Counter* requests =
+      registry.GetCounter("dcws_requests_total", {{"outcome", "ok"}});
+  Histogram* latency = registry.GetHistogram("dcws_request_latency_us");
+  MetricHistory history(8);
+
+  requests->Increment(5);
+  latency->Observe(100);
+  history.Sample(registry.Snapshot(), Seconds(1));
+  requests->Increment(5);
+  latency->Observe(300);
+  history.Sample(registry.Snapshot(), Seconds(2));
+
+  std::vector<HistorySeries> series = history.Snapshot();
+  const HistorySeries* value =
+      FindSeries(series, "dcws_requests_total", "value");
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->labels.size(), 1u);
+  EXPECT_EQ(value->labels[0].second, "ok");
+  ASSERT_EQ(value->samples.size(), 2u);
+  EXPECT_EQ(value->samples[0].at, Seconds(1));
+  EXPECT_EQ(value->samples[0].value, 5.0);
+  EXPECT_EQ(value->samples[1].value, 10.0);
+
+  // The histogram contributes count + three percentile trajectories.
+  for (const char* field : {"count", "p50", "p95", "p99"}) {
+    const HistorySeries* s =
+        FindSeries(series, "dcws_request_latency_us", field);
+    ASSERT_NE(s, nullptr) << field;
+    ASSERT_EQ(s->samples.size(), 2u) << field;
+  }
+  const HistorySeries* count =
+      FindSeries(series, "dcws_request_latency_us", "count");
+  EXPECT_EQ(count->samples[0].value, 1.0);
+  EXPECT_EQ(count->samples[1].value, 2.0);
+  const HistorySeries* p99 =
+      FindSeries(series, "dcws_request_latency_us", "p99");
+  EXPECT_GT(p99->samples[1].value, p99->samples[0].value);
+}
+
+TEST(MetricHistoryTest, RingWrapsPerSeriesKeepingNewest) {
+  Registry registry;
+  Counter* c = registry.GetCounter("dcws_pings_total");
+  MetricHistory history(2);
+  for (int i = 1; i <= 5; ++i) {
+    c->Increment();
+    history.Sample(registry.Snapshot(), Seconds(i));
+  }
+  std::vector<HistorySeries> series = history.Snapshot();
+  const HistorySeries* pings =
+      FindSeries(series, "dcws_pings_total", "value");
+  ASSERT_NE(pings, nullptr);
+  EXPECT_EQ(pings->total_appended, 5u);
+  ASSERT_EQ(pings->samples.size(), 2u);
+  EXPECT_EQ(pings->samples[0].value, 4.0);
+  EXPECT_EQ(pings->samples[1].value, 5.0);
+}
+
+TEST(MetricHistoryTest, SnapshotFiltersByMetricAndSince) {
+  Registry registry;
+  registry.GetCounter("dcws_pings_total")->Increment();
+  registry.GetCounter("dcws_revocations_total")->Increment();
+  MetricHistory history(8);
+  history.Sample(registry.Snapshot(), Seconds(1));
+  history.Sample(registry.Snapshot(), Seconds(5));
+
+  EXPECT_EQ(history.series_count(), 2u);
+  std::vector<HistorySeries> one = history.Snapshot("dcws_pings_total");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].name, "dcws_pings_total");
+
+  // `since` trims samples; series with every sample cut are omitted.
+  std::vector<HistorySeries> tail = history.Snapshot({}, Seconds(3));
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].samples.size(), 1u);
+  EXPECT_TRUE(history.Snapshot({}, Seconds(100)).empty());
+  EXPECT_TRUE(history.Snapshot("no_such_metric").empty());
+}
+
+TEST(SparklineTest, ScalesShapesAndTruncates) {
+  EXPECT_EQ(Sparkline({}, 8), "");
+  // Monotone ramp: lowest glyph first, full-height glyph last.
+  std::string ramp = Sparkline({1, 2, 3, 4, 5, 6, 7, 8}, 8);
+  EXPECT_EQ(ramp.substr(0, 3), "▁");
+  EXPECT_EQ(ramp.substr(ramp.size() - 3), "█");
+  // Flat series render mid-height, one glyph per value.
+  std::string flat = Sparkline({5, 5, 5}, 8);
+  EXPECT_EQ(flat.size(), 3 * 3u);  // 3 UTF-8 block glyphs
+  EXPECT_EQ(flat.substr(0, 3), flat.substr(3, 3));
+  // Longer inputs keep the trailing `width` values.
+  std::string tail = Sparkline({9, 9, 9, 1, 1}, 2);
+  EXPECT_EQ(tail, Sparkline({1, 1}, 2));
+}
+
+TEST(HistoryFormatTest, TextAndJsonCarrySeries) {
+  Registry registry;
+  registry.GetCounter("dcws_pings_total")->Increment(3);
+  MetricHistory history(8);
+  history.Sample(registry.Snapshot(), Seconds(1));
+  history.Sample(registry.Snapshot(), Seconds(2));
+  std::vector<HistorySeries> series = history.Snapshot();
+
+  std::string text = FormatHistoryText(series);
+  EXPECT_NE(text.find("dcws_pings_total{} value n=2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("last=3"), std::string::npos) << text;
+
+  std::string json = FormatHistoryJson("alpha:8001", Seconds(2), series);
+  EXPECT_NE(json.find("\"server\":\"alpha:8001\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"dcws_pings_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"field\":\"value\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":[[1000000,3],[2000000,3]]"),
+            std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------
+// Per-phase attribution.
+
+Span MakeSpan(std::string name, MicroTime start, MicroTime end,
+              int depth) {
+  Span span;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = end;
+  span.depth = depth;
+  return span;
+}
+
+TEST(AttributionTest, ExclusiveSlicesSumExactlyToDuration) {
+  Trace trace;
+  trace.start = 0;
+  trace.end = 1000;
+  trace.spans.push_back(MakeSpan("accept_wait", 0, 100, 1));
+  trace.spans.push_back(MakeSpan("parse", 100, 200, 1));
+  trace.spans.push_back(MakeSpan("local", 200, 900, 1));
+  trace.spans.push_back(MakeSpan("rewrite", 300, 500, 2));
+
+  std::vector<PhaseSlice> slices = AttributeTrace(trace);
+  MicroTime sum = 0;
+  for (const PhaseSlice& slice : slices) sum += slice.micros;
+  EXPECT_EQ(sum, trace.DurationMicros());
+
+  auto micros_of = [&](std::string_view phase) -> MicroTime {
+    for (const PhaseSlice& slice : slices) {
+      if (slice.phase == phase) return slice.micros;
+    }
+    return -1;
+  };
+  // The transport queue span reports under the metric phase name.
+  EXPECT_EQ(micros_of("queue_wait"), 100);
+  EXPECT_EQ(micros_of("accept_wait"), -1);
+  EXPECT_EQ(micros_of("parse"), 100);
+  // `local` is charged its SELF time: 700 minus the nested rewrite.
+  EXPECT_EQ(micros_of("local"), 500);
+  EXPECT_EQ(micros_of("rewrite"), 200);
+  // Handler time covered by no span: the synthetic residual.
+  EXPECT_EQ(micros_of("other"), 100);
+}
+
+TEST(AttributionTest, RepeatedSpanNamesAccumulateOneSlice) {
+  Trace trace;
+  trace.start = 0;
+  trace.end = 300;
+  trace.spans.push_back(MakeSpan("coop_fetch", 0, 100, 1));
+  trace.spans.push_back(MakeSpan("coop_fetch", 150, 250, 1));
+  std::vector<PhaseSlice> slices = AttributeTrace(trace);
+  int seen = 0;
+  for (const PhaseSlice& slice : slices) {
+    if (slice.phase == "coop_fetch") {
+      ++seen;
+      EXPECT_EQ(slice.micros, 200);
+    }
+  }
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(AttributionTest, FormatsShareAndBreakdown) {
+  Trace trace;
+  trace.start = 0;
+  trace.end = 1000;
+  trace.spans.push_back(MakeSpan("coop_fetch", 0, 750, 1));
+  std::vector<PhaseSlice> slices = AttributeTrace(trace);
+  std::string line = FormatAttribution(slices, trace.DurationMicros());
+  EXPECT_NE(line.find("coop_fetch 750us 75.0%"), std::string::npos)
+      << line;
+  // Largest slice leads.
+  EXPECT_EQ(line.find("coop_fetch"), 0u) << line;
+
+  std::string breakdown = FormatPhaseBreakdown({trace});
+  EXPECT_NE(breakdown.find("coop_fetch"), std::string::npos)
+      << breakdown;
+  EXPECT_NE(breakdown.find("75.0%"), std::string::npos) << breakdown;
+  EXPECT_EQ(FormatPhaseBreakdown({}), "");
+}
+
+TEST(AttributionTest, TraceFormatsCarryAttribution) {
+  Trace trace;
+  trace.id = 7;
+  trace.root = "/a.html";
+  trace.server = "alpha:8001";
+  trace.start = 0;
+  trace.end = 400;
+  trace.spans.push_back(MakeSpan("local", 0, 400, 1));
+
+  std::string text = FormatTraceText(trace);
+  EXPECT_NE(text.find("attribution: local 400us 100.0%"),
+            std::string::npos)
+      << text;
+  std::string json = FormatTraceJson(trace);
+  EXPECT_NE(
+      json.find("\"attribution\":[{\"phase\":\"local\",\"us\":400}]"),
+      std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition-format regression.
+
+TEST(ExportTest, PrometheusFamiliesAreContiguousWithSingleHeaders) {
+  Registry registry;
+  registry.GetCounter("dcws_requests_total", {{"outcome", "ok"}})
+      ->Increment(1);
+  registry.GetCounter("dcws_requests_total", {{"outcome", "redirect"}})
+      ->Increment(2);
+  for (const char* phase : {"parse", "local", "coop_fetch"}) {
+    registry.GetHistogram("dcws_phase_latency_us", {{"phase", phase}})
+        ->Observe(100);
+  }
+  registry
+      .GetHistogram("dcws_request_latency_us", {{"kind", "client"}})
+      ->Observe(250);
+  std::string prom = ExportPrometheus(registry.Snapshot());
+
+  // Walk the exposition: every # HELP is immediately followed by the
+  // matching # TYPE, each family is declared exactly once, and every
+  // sample line belongs to the most recently declared family (i.e.
+  // families are contiguous blocks — the format Prometheus requires).
+  std::set<std::string> declared;
+  std::string current, pending_help;
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line";
+    std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_TRUE(pending_help.empty()) << "HELP without TYPE: " << line;
+      pending_help = line.substr(7, line.find(' ', 7) - 7);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(name, pending_help) << "TYPE not preceded by its HELP";
+      pending_help.clear();
+      EXPECT_TRUE(declared.insert(name).second)
+          << "family declared twice: " << name;
+      current = name;
+      continue;
+    }
+    ASSERT_TRUE(pending_help.empty()) << "HELP not followed by TYPE";
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t at = name.size() > std::strlen(suffix)
+                      ? name.rfind(suffix)
+                      : std::string::npos;
+      if (at != std::string::npos &&
+          at == name.size() - std::strlen(suffix) &&
+          name.substr(0, at) == current) {
+        name = name.substr(0, at);
+        break;
+      }
+    }
+    EXPECT_EQ(name, current)
+        << "sample outside its family block: " << line;
+  }
+  EXPECT_TRUE(pending_help.empty());
+  // Histogram families and each derived quantile-gauge family appear.
+  for (const char* family :
+       {"dcws_phase_latency_us", "dcws_phase_latency_us_p50",
+        "dcws_phase_latency_us_p99", "dcws_request_latency_us_max",
+        "dcws_requests_total"}) {
+    EXPECT_TRUE(declared.contains(family)) << family;
+  }
+}
+
+TEST(ExportTest, PrometheusHelpPrecedesTypeOncePerFamily) {
+  std::string prom = ExportPrometheus(SampleSnapshots());
+  size_t help = prom.find("# HELP dcws_request_latency_us ");
+  size_t type = prom.find("# TYPE dcws_request_latency_us histogram");
+  ASSERT_NE(help, std::string::npos) << prom;
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  // Exactly one header pair even with several label sets.
+  EXPECT_EQ(prom.find("# TYPE dcws_request_latency_us histogram",
+                      type + 1),
+            std::string::npos);
+  // Every family carries non-empty HELP text.
+  EXPECT_EQ(prom.find(" \n", prom.find("# HELP")), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sampling profiler.
+
+TEST(ProfilerTest, DisabledWithoutEnvironmentVariable) {
+  ::unsetenv("DCWS_PROFILE");
+  EXPECT_FALSE(Profiler::Enabled());
+  ::setenv("DCWS_PROFILE", "0", 1);
+  EXPECT_FALSE(Profiler::Enabled());
+  ::setenv("DCWS_PROFILE", "1", 1);
+  EXPECT_TRUE(Profiler::Enabled());
+  ::unsetenv("DCWS_PROFILE");
+}
+
+TEST(ProfilerTest, CapturesBusyThreadWithDcwsFrames) {
+#if defined(DCWS_TEST_TSAN)
+  GTEST_SKIP() << "signal-driven backtraces are not TSan-clean";
+#else
+  // A worker burning CPU in the html rewrite path while we capture on
+  // the process CPU clock: the folded stacks must attribute samples to
+  // dcws code (symbolized via -rdynamic + dladdr).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sink{0};
+  std::thread worker([&stop, &sink]() {
+    std::string page;
+    for (int i = 0; i < 40; ++i) {
+      page += "<a href=\"/doc" + std::to_string(i) + ".html\">x</a>";
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      html::RewriteResult result = html::RewriteLinks(
+          page, "/index.html",
+          [](const html::LinkOccurrence&) -> std::optional<std::string> {
+            return "http://beta:8002/doc.html";
+          });
+      sink.fetch_add(result.links_rewritten,
+                     std::memory_order_relaxed);
+    }
+  });
+  Result<std::string> folded = Profiler::Instance().Capture(0.5, 250);
+  stop.store(true);
+  worker.join();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_FALSE(folded->empty());
+  EXPECT_NE(folded->find("dcws"), std::string::npos)
+      << folded->substr(0, 2000);
+  // Folded format: semicolon-joined frames, trailing sample count.
+  EXPECT_NE(folded->find(' '), std::string::npos);
+  EXPECT_GT(sink.load(), 0u);
+#endif
+}
+
+TEST(ProfilerTest, CaptureRejectsConcurrentUse) {
+#if defined(DCWS_TEST_TSAN)
+  GTEST_SKIP() << "signal-driven backtraces are not TSan-clean";
+#else
+  Result<bool> started = Profiler::Instance().Start(100);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  Result<bool> again = Profiler::Instance().Start(100);
+  EXPECT_FALSE(again.ok());
+  Result<std::string> capture = Profiler::Instance().Capture(0.05);
+  EXPECT_FALSE(capture.ok());
+  Profiler::Instance().Stop();
+  // After Stop the profiler is available again.
+  Result<std::string> ok = Profiler::Instance().Capture(0.05, 100);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+#endif
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "src/http/url.h"
 #include "src/migrate/naming.h"
 #include "src/obs/export.h"
+#include "src/obs/history.h"
 #include "src/obs/trace.h"
 #include "src/util/clock.h"
 
@@ -722,6 +723,151 @@ TEST_F(ServerTest, AdminTargetsStayOutOfTrafficMetrics) {
       snapshot, "dcws_request_latency_us", {{"kind", "client"}});
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->hist.count, 0u);
+}
+
+TEST_F(ServerTest, DcwsHistoryServesSampledRingsWithFilters) {
+  // The fixture's first TickAll anchored the sampler (sample zero at
+  // t=1s); two more 1 s ticks grow every series to three samples.
+  Hammer("/a.html", 5);
+  AdvanceAndTick(Seconds(1));
+  AdvanceAndTick(Seconds(1));
+  std::vector<obs::HistorySeries> docs =
+      home().history().Snapshot("dcws_documents");
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_GE(docs[0].samples.size(), 2u);
+
+  http::Response text =
+      home().HandleRequest(Get("/.dcws/history"), &net());
+  ASSERT_EQ(text.status_code, 200);
+  EXPECT_EQ(text.headers.Get("Content-Type").value(), "text/plain");
+  EXPECT_NE(text.body.find("history for " +
+                           home().address().ToString()),
+            std::string::npos)
+      << text.body;
+  EXPECT_NE(text.body.find("dcws_load_cps"), std::string::npos);
+
+  // ?metric= narrows to one family; other series must not appear.
+  http::Response one = home().HandleRequest(
+      Get("/.dcws/history?metric=dcws_documents&format=json"), &net());
+  ASSERT_EQ(one.status_code, 200);
+  EXPECT_EQ(one.headers.Get("Content-Type").value(),
+            "application/json");
+  EXPECT_NE(one.body.find("\"name\":\"dcws_documents\""),
+            std::string::npos)
+      << one.body;
+  EXPECT_EQ(one.body.find("\"name\":\"dcws_load_cps\""),
+            std::string::npos);
+  // Three comma-separated [at,value] pairs in the samples array.
+  size_t samples = one.body.find("\"samples\":[[");
+  ASSERT_NE(samples, std::string::npos) << one.body;
+  size_t close = one.body.find(']', samples + 12);
+  int pairs = 1;
+  while (close != std::string::npos &&
+         one.body.compare(close, 3, "],[") == 0) {
+    ++pairs;
+    close = one.body.find(']', close + 3);
+  }
+  EXPECT_GE(pairs, 2) << one.body;
+
+  // ?window=N keeps only samples from the trailing N seconds.
+  http::Response trimmed = home().HandleRequest(
+      Get("/.dcws/history?metric=dcws_documents&window=1&format=json"),
+      &net());
+  ASSERT_EQ(trimmed.status_code, 200);
+  EXPECT_LT(trimmed.body.size(), one.body.size());
+}
+
+TEST_F(ServerTest, DcwsHistoryRejectsMalformedWindow) {
+  EXPECT_EQ(home()
+                .HandleRequest(Get("/.dcws/history?window=soon"), &net())
+                .status_code,
+            400);
+  EXPECT_EQ(home()
+                .HandleRequest(Get("/.dcws/history?window=-1"), &net())
+                .status_code,
+            400);
+}
+
+TEST_F(ServerTest, PhaseAttributionSumsToEndToEndLatency) {
+  // Transport-reported queue and parse time are the only nonzero span
+  // durations under a manual clock, which makes the acceptance check
+  // exact: the dcws_phase_latency_us family must partition precisely
+  // the same time the end-to-end latency histograms observed.
+  for (int i = 0; i < 4; ++i) {
+    RequestTrace trace;
+    trace.queue_wait = 100 + 10 * i;
+    trace.parse_micros = 50;
+    home().HandleRequest(Get(i % 2 == 0 ? "/a.html" : "/b.html"),
+                         &net(), &trace);
+  }
+  std::vector<obs::MetricSnapshot> snapshot =
+      home().metrics().Snapshot();
+  uint64_t end_to_end = 0;
+  uint64_t end_to_end_count = 0;
+  uint64_t phase_sum = 0;
+  for (const obs::MetricSnapshot& snap : snapshot) {
+    if (snap.name == "dcws_request_latency_us") {
+      end_to_end += snap.hist.sum;
+      end_to_end_count += snap.hist.count;
+    } else if (snap.name == "dcws_phase_latency_us") {
+      phase_sum += snap.hist.sum;
+    }
+  }
+  EXPECT_EQ(end_to_end_count, 4u);
+  EXPECT_EQ(end_to_end, 4u * 50u + 100u + 110u + 120u + 130u);
+  EXPECT_EQ(phase_sum, end_to_end);
+  // The transport span surfaces under its metric phase name.
+  const obs::MetricSnapshot* queue = obs::FindMetric(
+      snapshot, "dcws_phase_latency_us", {{"phase", "queue_wait"}});
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->hist.sum, 100u + 110u + 120u + 130u);
+  const obs::MetricSnapshot* parse = obs::FindMetric(
+      snapshot, "dcws_phase_latency_us", {{"phase", "parse"}});
+  ASSERT_NE(parse, nullptr);
+  EXPECT_EQ(parse->hist.sum, 4u * 50u);
+}
+
+TEST_F(ServerTest, DcwsEventsRejectsMalformedCursor) {
+  EXPECT_EQ(home()
+                .HandleRequest(Get("/.dcws/events?since=yesterday"),
+                               &net())
+                .status_code,
+            400);
+  EXPECT_EQ(
+      home()
+          .HandleRequest(Get("/.dcws/events?since=-3"), &net())
+          .status_code,
+      400);
+}
+
+TEST_F(ServerTest, DcwsEventsFutureCursorYieldsEmptySetWithEnvelope) {
+  ForceOneMigration();
+  uint64_t total = home().journal().total();
+  ASSERT_GE(total, 1u);
+  // A cursor past the tail (e.g. ours, kept across a server restart
+  // that reset the journal) returns no events but a full envelope, so
+  // the poller can see last_seq < cursor and resynchronize.
+  http::Response future = home().HandleRequest(
+      Get("/.dcws/events?format=json&since=" +
+          std::to_string(total + 1000)),
+      &net());
+  ASSERT_EQ(future.status_code, 200);
+  EXPECT_NE(future.body.find("\"events\":[\n]"), std::string::npos)
+      << future.body;
+  EXPECT_NE(future.body.find("\"last_seq\":" + std::to_string(total)),
+            std::string::npos)
+      << future.body;
+}
+
+TEST_F(ServerTest, DcwsProfileIs503WhenProfilerDisabled) {
+  // The test environment does not set DCWS_PROFILE (the profiler tests
+  // that do, in obs_test, restore it), so the endpoint must refuse
+  // rather than install signal handlers nobody asked for.
+  http::Response resp =
+      home().HandleRequest(Get("/.dcws/profile?seconds=1"), &net());
+  EXPECT_EQ(resp.status_code, 503);
+  EXPECT_NE(resp.body.find("DCWS_PROFILE"), std::string::npos)
+      << resp.body;
 }
 
 TEST_F(ServerTest, SlowRequestsLandInSlowRing) {

@@ -174,6 +174,46 @@ TEST_F(TcpTest, FetcherWalksOverSockets) {
 
 // ------------------------------------------------------- fs round trip
 
+TEST(TcpHistoryTest, RingFillsOverSockets) {
+  // Same acceptance check as the in-process transport, over the wire:
+  // the duty thread's sampler (50 ms interval; a dedicated server so
+  // the fast sampler doesn't load the shared fixture) must yield >= 2
+  // samples.
+  WallClock clock;
+  core::ServerParams params = FastParams();
+  params.history_interval = Millis(50);
+  core::Server server({"tcp-hist", 8200}, params, &clock);
+  ASSERT_TRUE(
+      server.LoadSite({Doc("/index.html", "<p>hi</p>")}, {}).ok());
+  TcpNetwork network;
+  auto host = network.AddServer(&server);
+  ASSERT_TRUE(host.ok());
+  uint16_t port = (*host)->port();
+
+  http::Request get;
+  get.target = "/index.html";
+  auto page = TcpCall(port, get);
+  ASSERT_TRUE(page.ok());
+
+  http::Request history;
+  history.target =
+      "/.dcws/history?metric=dcws_requests_total&format=json";
+  std::string body;
+  for (int i = 0; i < 40; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto response = TcpCall(port, history);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status_code, 200);
+    body = response->body;
+    if (body.find("],[") != std::string::npos) break;
+  }
+  network.StopAll();
+  EXPECT_NE(body.find("\"name\":\"dcws_requests_total\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("],["), std::string::npos) << body;
+}
+
 TEST(FsTest, SaveAndLoadDirectoryRoundTrip) {
   std::string root =
       ::testing::TempDir() + "/dcws_fs_test_" +

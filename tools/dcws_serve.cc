@@ -10,10 +10,13 @@
 // ephemeral.  Server 1 is the home seeded from DOCROOT, the rest start
 // as empty co-ops.  Point a browser or curl at the home port; /~status
 // shows operational state, /.dcws/status the metric registry
-// (?format=text|json|prometheus) and /.dcws/traces recent request span
-// trees.  With --status-interval N, a one-line cluster summary (cps,
-// p99 latency, migrations) is printed every N seconds from the metrics
-// registry.  Runs until the duration elapses (default: forever).
+// (?format=text|json|prometheus), /.dcws/traces recent request span
+// trees (with per-phase attribution), /.dcws/history the sampled
+// metric rings and /.dcws/profile folded stacks (DCWS_PROFILE=1).
+// With --status-interval N, a one-line cluster summary (cps, p99
+// latency, migrations, a cps sparkline) is printed every N seconds —
+// the history sampler runs on the same cadence.  Runs until the
+// duration elapses (default: forever).
 
 #include <csignal>
 #include <cstdio>
@@ -25,6 +28,7 @@
 #include "src/core/server.h"
 #include "src/net/tcp.h"
 #include "src/obs/export.h"
+#include "src/obs/history.h"
 #include "src/storage/fs.h"
 
 using namespace dcws;
@@ -79,10 +83,23 @@ void PrintStatusLine(
                                       {{"direction", "out"}})) {
     migrations = static_cast<unsigned long long>(m->value);
   }
+  // Home-server cps trend from the metric-history ring (the same series
+  // GET /.dcws/history serves).
+  std::string spark;
+  std::vector<obs::HistorySeries> history =
+      group[0]->history().Snapshot("dcws_load_cps");
+  if (!history.empty() && !history[0].samples.empty()) {
+    std::vector<double> values;
+    values.reserve(history[0].samples.size());
+    for (const metrics::Sample& s : history[0].samples) {
+      values.push_back(s.value);
+    }
+    spark = obs::Sparkline(values, 16);
+  }
   std::printf(
       "[stats +%lds] cps=%.1f p99=%.0fus served=%llu redirects=%llu "
-      "migrations=%llu\n",
-      uptime_s, cps, p99, served, redirects, migrations);
+      "migrations=%llu %s\n",
+      uptime_s, cps, p99, served, redirects, migrations, spark.c_str());
   std::fflush(stdout);
 }
 
@@ -137,6 +154,12 @@ int main(int argc, char** argv) {
   params.stats_interval = Seconds(static_cast<double>(stats_interval));
   params.load_window = params.stats_interval;
   params.selection.hit_threshold = 2;
+  if (status_interval > 0) {
+    // Metric-history samples on the same cadence as the status line, so
+    // the printed sparkline and GET /.dcws/history agree.
+    params.history_interval =
+        Seconds(static_cast<double>(status_interval));
+  }
 
   WallClock clock;
   std::vector<std::unique_ptr<core::Server>> group;

@@ -1,9 +1,12 @@
 // dcws_top: live cluster view over a running DCWS group.  Polls every
-// host's /.dcws/status (load + table gauges) and /.dcws/events
-// (incremental since-sequence cursor) and renders a per-host load table
-// plus the merged, wall-clock-ordered cluster timeline of migration /
-// recall / liveness decisions — the operator's view of the paper's
-// distributed data management in motion.
+// host's /.dcws/status (load + table gauges), /.dcws/history (a cps
+// sparkline per host) and /.dcws/events (incremental since-sequence
+// cursor; a host restart rewinds the cursor automatically) and renders
+// a per-host load table, the cluster's top request phases by total
+// time (the dcws_phase_latency_us attribution family) and the merged,
+// wall-clock-ordered cluster timeline of migration / recall / liveness
+// decisions — the operator's view of the paper's distributed data
+// management in motion.
 //
 //   dcws_top HOST:PORT [HOST:PORT ...] [--interval S] [--once]
 //            [--events N]
@@ -19,11 +22,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/http/message.h"
 #include "src/net/tcp.h"
+#include "src/obs/history.h"
 
 using namespace dcws;
 
@@ -78,7 +83,33 @@ double MetricValue(const std::string& json, const std::string& name) {
   return NumberField(json, "value", at);
 }
 
-void RenderStatusRow(Host& host) {
+// Renders the host's cps trend from /.dcws/history (sample values of
+// the dcws_load_cps series, drawn with the same glyph ramp the server's
+// text format uses).
+std::string HistorySparkline(const Host& host) {
+  auto history = Fetch(
+      host.port, "/.dcws/history?metric=dcws_load_cps&format=json");
+  if (!history.ok() || history->status_code != 200) return "";
+  const std::string& body = history->body;
+  size_t at = body.find("\"samples\":[");
+  if (at == std::string::npos) return "";
+  std::vector<double> values;
+  size_t pos = at + 11;
+  while (pos < body.size() && body[pos] == '[') {
+    char* after = nullptr;
+    std::strtod(body.c_str() + pos + 1, &after);  // sample timestamp
+    if (after == nullptr || *after != ',') break;
+    values.push_back(std::strtod(after + 1, &after));
+    if (after == nullptr || *after != ']') break;
+    pos = static_cast<size_t>(after - body.c_str()) + 1;
+    if (pos < body.size() && body[pos] == ',') ++pos;
+  }
+  return obs::Sparkline(values, 16);
+}
+
+// Per-phase exclusive time sums (dcws_phase_latency_us) accumulate into
+// `phase_us` for the cluster-wide attribution section.
+void RenderStatusRow(Host& host, std::map<std::string, double>& phase_us) {
   auto status = Fetch(host.port, "/.dcws/status?format=json");
   if (!status.ok() || status->status_code != 200) {
     host.reachable = false;
@@ -88,7 +119,7 @@ void RenderStatusRow(Host& host) {
   host.reachable = true;
   const std::string& json = status->body;
   std::printf(
-      "%-18s %8.1f %10.0f %6.0f %6.0f %6.0f %7.0f/%-6.0f %5.0f\n",
+      "%-18s %8.1f %10.0f %6.0f %6.0f %6.0f %7.0f/%-6.0f %5.0f %s\n",
       host.label.c_str(), MetricValue(json, "dcws_load_cps"),
       MetricValue(json, "dcws_load_bps"),
       MetricValue(json, "dcws_documents"),
@@ -96,7 +127,37 @@ void RenderStatusRow(Host& host) {
       MetricValue(json, "dcws_coop_hosted_documents"),
       MetricValue(json, "dcws_event_journal_depth"),
       MetricValue(json, "dcws_event_journal_dropped"),
-      MetricValue(json, "dcws_glt_peers"));
+      MetricValue(json, "dcws_glt_peers"),
+      HistorySparkline(host).c_str());
+  size_t at = json.find("\"name\":\"dcws_phase_latency_us\"");
+  while (at != std::string::npos) {
+    std::string phase = StringField(json, "phase", at);
+    if (!phase.empty()) {
+      phase_us[phase] += NumberField(json, "sum", at);
+    }
+    at = json.find("\"name\":\"dcws_phase_latency_us\"", at + 1);
+  }
+}
+
+// The cluster's critical path at a glance: where request time actually
+// went, largest phase first.
+void RenderAttribution(const std::map<std::string, double>& phase_us) {
+  double total = 0;
+  for (const auto& [phase, micros] : phase_us) total += micros;
+  if (total <= 0) return;
+  std::vector<std::pair<std::string, double>> sorted(phase_us.begin(),
+                                                     phase_us.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::printf("\n-- request time by phase (cluster lifetime) --\n");
+  size_t shown = 0;
+  for (const auto& [phase, micros] : sorted) {
+    if (micros <= 0 || shown++ >= 5) break;
+    std::printf("  %-16s %12.0fus  %5.1f%%\n", phase.c_str(), micros,
+                100.0 * micros / total);
+  }
 }
 
 // Pulls events past the host's cursor and appends rendered entries.
@@ -106,6 +167,16 @@ void CollectEvents(Host& host, std::vector<TimelineEvent>& out) {
                                      std::to_string(host.cursor));
   if (!events.ok() || events->status_code != 200) return;
   const std::string& body = events->body;
+  // A journal whose last_seq fell below our cursor was restarted (the
+  // seq counter begins again at 1): rewind so the next poll replays the
+  // new incarnation's ring instead of waiting for seqs that may never
+  // come.  With the cursor ahead of last_seq this body is empty by the
+  // ?since= contract, so there is nothing to parse this round.
+  uint64_t last_seq = static_cast<uint64_t>(NumberField(body, "last_seq"));
+  if (last_seq < host.cursor) {
+    host.cursor = 0;
+    return;
+  }
   // Each event object sits on its own line inside "events":[...].
   size_t at = body.find("\"events\":[");
   while (at != std::string::npos) {
@@ -177,10 +248,12 @@ int main(int argc, char** argv) {
   while (true) {
     if (!once) std::printf("\033[2J\033[H");  // clear screen, home
     std::printf("== dcws cluster: %zu hosts ==\n", hosts.size());
-    std::printf("%-18s %8s %10s %6s %6s %6s %7s/%-6s %5s\n", "host",
+    std::printf("%-18s %8s %10s %6s %6s %6s %7s/%-6s %5s %s\n", "host",
                 "cps", "bps", "docs", "moved", "hosted", "events",
-                "evctd", "peers");
-    for (Host& host : hosts) RenderStatusRow(host);
+                "evctd", "peers", "trend");
+    std::map<std::string, double> phase_us;
+    for (Host& host : hosts) RenderStatusRow(host, phase_us);
+    RenderAttribution(phase_us);
 
     for (Host& host : hosts) CollectEvents(host, timeline);
     std::stable_sort(timeline.begin(), timeline.end(),
